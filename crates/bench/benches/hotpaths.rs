@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the hot paths: placement + coverage,
+//! routing-table construction, simulator cycle rate, and the deadlock
+//! oracle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use sb_routing::{MinimalRouting, UpDownRouting};
+use sb_sim::{NullPlugin, SimConfig, Simulator, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
+use static_bubble::{placement, StaticBubblePlugin};
+
+fn faulty(mesh: Mesh, faults: usize, seed: u64) -> Topology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("placement/8x8", |b| {
+        b.iter(|| placement::placement(std::hint::black_box(Mesh::new(8, 8))))
+    });
+    c.bench_function("placement/coverage_16x16", |b| {
+        b.iter(|| placement::coverage_holds(std::hint::black_box(Mesh::new(16, 16))))
+    });
+    c.bench_function("placement/closed_form_64x64", |b| {
+        b.iter(|| placement::bubble_count(std::hint::black_box(64), std::hint::black_box(64)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = faulty(Mesh::new(8, 8), 15, 3);
+    c.bench_function("routing/minimal_tables_8x8", |b| {
+        b.iter(|| MinimalRouting::new(std::hint::black_box(&topo)))
+    });
+    c.bench_function("routing/updown_tree_8x8", |b| {
+        b.iter(|| UpDownRouting::new(std::hint::black_box(&topo)))
+    });
+    let minimal = MinimalRouting::new(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    c.bench_function("routing/minimal_route_query", |b| {
+        use sb_routing::RouteSource;
+        b.iter(|| {
+            minimal.route(
+                std::hint::black_box(sb_topology::NodeId(0)),
+                std::hint::black_box(sb_topology::NodeId(63)),
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let topo = Topology::full(Mesh::new(8, 8));
+    c.bench_function("sim/1k_cycles_null_ur0.15", |b| {
+        b.iter_batched(
+            || {
+                Simulator::new(
+                    &topo,
+                    SimConfig::single_vnet(),
+                    Box::new(MinimalRouting::new(&topo)),
+                    NullPlugin,
+                    UniformTraffic::new(0.15).single_vnet(),
+                    1,
+                )
+            },
+            |mut sim| sim.run(1_000),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("sim/1k_cycles_staticbubble_ur0.15", |b| {
+        let bubbles = placement::placement(topo.mesh());
+        b.iter_batched(
+            || {
+                Simulator::with_bubbles(
+                    &topo,
+                    SimConfig::single_vnet(),
+                    Box::new(MinimalRouting::new(&topo)),
+                    StaticBubblePlugin::new(topo.mesh(), 34),
+                    UniformTraffic::new(0.15).single_vnet(),
+                    1,
+                    &bubbles,
+                )
+            },
+            |mut sim| sim.run(1_000),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tree_and_diversity(c: &mut Criterion) {
+    let topo = faulty(Mesh::new(8, 8), 15, 3);
+    c.bench_function("routing/tree_only_8x8", |b| {
+        b.iter(|| sb_routing::TreeOnlyRouting::new(std::hint::black_box(&topo)))
+    });
+    let minimal = MinimalRouting::new(&topo);
+    c.bench_function("routing/minimal_path_count_corner", |b| {
+        b.iter(|| {
+            minimal.minimal_path_count(
+                std::hint::black_box(sb_topology::NodeId(0)),
+                std::hint::black_box(sb_topology::NodeId(63)),
+            )
+        })
+    });
+}
+
+fn bench_bfc(c: &mut Criterion) {
+    c.bench_function("bfc/ring16_1k_cycles", |b| {
+        b.iter_batched(
+            || {
+                (
+                    sb_bfc::Ring::new(16, sb_bfc::InjectionPolicy::Bubble),
+                    rand::rngs::StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut ring, mut rng)| ring.run(1_000, 0.5, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let topo = Topology::full(Mesh::new(8, 8));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
+        NullPlugin,
+        UniformTraffic::new(0.3).single_vnet(),
+        2,
+    );
+    sim.run(3_000);
+    c.bench_function("oracle/find_deadlock_loaded_8x8", |b| {
+        b.iter(|| sb_sim::find_deadlock(std::hint::black_box(sim.core())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_placement, bench_routing, bench_simulator, bench_oracle,
+        bench_tree_and_diversity, bench_bfc
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **Fig. 4 / Eq. 1** — the static-bubble placement: visualization, counts
+//! and the coverage Lemma check.
+
+use sb_bench::{Args, Table};
+use sb_topology::Mesh;
+use static_bubble::placement;
+
+fn main() {
+    Args::banner("fig04_placement", "placement map, Eq.1 counts, Lemma check", &[]);
+    let mesh = Mesh::new(8, 8);
+    println!("# Fig. 4(a): static-bubble placement on an 8x8 mesh ('B' = bubble)");
+    for y in (0..8u16).rev() {
+        let mut line = String::new();
+        for x in 0..8u16 {
+            let c = sb_topology::Coord::new(x, y);
+            line.push(if placement::is_static_bubble_node(c) { 'B' } else { '.' });
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    println!();
+
+    let mut table = Table::new(
+        "Eq. 1: bubble counts (closed form == enumeration) and Lemma coverage",
+        &["mesh", "bubbles", "closed_form", "coverage_holds"],
+    );
+    for (w, h) in [(4u16, 4u16), (8, 8), (8, 16), (16, 16), (12, 9), (32, 32)] {
+        let mesh = Mesh::new(w, h);
+        table.row(&[
+            format!("{w}x{h}"),
+            placement::placement(mesh).len().to_string(),
+            placement::bubble_count(w, h).to_string(),
+            placement::coverage_holds(mesh).to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "paper anchors: 21 bubbles in 8x8 (got {}), 89 in 16x16 (got {})",
+        placement::placement(Mesh::new(8, 8)).len(),
+        placement::placement(Mesh::new(16, 16)).len()
+    );
+    let _ = mesh;
+}

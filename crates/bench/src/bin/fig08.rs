@@ -1,0 +1,133 @@
+//! **Fig. 8** — low-load average latency of escape-VC and Static Bubble,
+//! normalized to the spanning-tree baseline, across the irregular topology
+//! space (uniform-random and bit-complement traffic; link and router fault
+//! sweeps).
+//!
+//! At low load no deadlocks occur, so SB and escape VC perform identically;
+//! both beat the spanning tree because their routes stay minimal.
+
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
+use sb_sim::{BitComplementTraffic, SimConfig, TrafficSource, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
+
+fn avg_latency<T: TrafficSource>(
+    design: Design,
+    topo: &Topology,
+    traffic: T,
+    seed: u64,
+    warmup: u64,
+    cycles: u64,
+) -> Option<f64> {
+    let out = design.run(topo, SimConfig::single_vnet(), traffic, seed, warmup, cycles);
+    out.stats.avg_latency()
+}
+
+fn main() {
+    Args::banner(
+        "fig08",
+        "low-load latency normalized to spanning tree",
+        &[
+            ("topos", "10"),
+            ("cycles", "4000"),
+            ("rate", "0.05"),
+            ("csv", "-"),
+        ],
+    );
+    let args = Args::parse();
+    let topos = args.get_usize("topos", 10);
+    let cycles = args.get_u64("cycles", 4_000);
+    let rate = args.get_f64("rate", 0.05);
+    let mesh = Mesh::new(8, 8);
+    let threads = default_threads(&args);
+
+    let mut table = Table::new(
+        "Fig. 8: avg low-load latency normalized to spanning tree (lower is better)",
+        &[
+            "pattern",
+            "kind",
+            "faults",
+            "updown_lat",
+            "tree_only_norm",
+            "escape_vc_norm",
+            "static_bubble_norm",
+        ],
+    );
+
+    let link_points = [1usize, 5, 13, 21, 29, 37, 45, 53, 61];
+    let router_points = [1usize, 4, 8, 12, 16, 21, 26, 31];
+    for pattern in ["uniform", "bitcomp"] {
+        for (kind, points) in [
+            (FaultKind::Links, link_points.as_slice()),
+            (FaultKind::Routers, router_points.as_slice()),
+        ] {
+            let rows = parallel_map(points.to_vec(), threads, |&faults| {
+                let model = FaultModel::new(kind, faults);
+                let batch = model.sample_topologies(mesh, 0xF16_0008 + faults as u64, topos);
+                let mut sums = [0.0f64; 4];
+                let mut n = 0usize;
+                let designs = [
+                    Design::SpanningTree,
+                    Design::TreeOnly,
+                    Design::EscapeVc,
+                    Design::StaticBubble,
+                ];
+                for (i, topo) in batch.iter().enumerate() {
+                    let lat: Vec<Option<f64>> = designs
+                        .iter()
+                        .map(|&d| {
+                            let seed = 100 + i as u64;
+                            if pattern == "uniform" {
+                                avg_latency(
+                                    d,
+                                    topo,
+                                    UniformTraffic::new(rate).single_vnet(),
+                                    seed,
+                                    1_000,
+                                    cycles,
+                                )
+                            } else {
+                                avg_latency(
+                                    d,
+                                    topo,
+                                    BitComplementTraffic::new(rate).single_vnet(),
+                                    seed,
+                                    1_000,
+                                    cycles,
+                                )
+                            }
+                        })
+                        .collect();
+                    if let (Some(a), Some(b), Some(c), Some(d2)) =
+                        (lat[0], lat[1], lat[2], lat[3])
+                    {
+                        sums[0] += a;
+                        sums[1] += b;
+                        sums[2] += c;
+                        sums[3] += d2;
+                        n += 1;
+                    }
+                }
+                (faults, sums, n)
+            });
+            for (faults, sums, n) in rows {
+                if n == 0 {
+                    continue;
+                }
+                let sp = sums[0] / n as f64;
+                table.row(&[
+                    pattern.to_string(),
+                    format!("{kind:?}"),
+                    faults.to_string(),
+                    format!("{sp:.1}"),
+                    format!("{:.3}", sums[1] / n as f64 / sp),
+                    format!("{:.3}", sums[2] / n as f64 / sp),
+                    format!("{:.3}", sums[3] / n as f64 / sp),
+                ]);
+            }
+        }
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

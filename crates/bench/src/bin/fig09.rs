@@ -1,0 +1,99 @@
+//! **Fig. 9** — saturation throughput of the three designs, normalized to
+//! the spanning tree, across link- and router-fault sweeps with uniform
+//! random traffic.
+//!
+//! Saturation is measured as the knee of the offered/delivered curve
+//! (highest rate with acceptance ≥ 92%), the standard definition; see
+//! `DESIGN.md` on overload behaviour.
+
+use sb_bench::{parallel_map, saturation_throughput, sweep::default_threads, Args, Design, Table};
+use sb_sim::SimConfig;
+use sb_topology::{FaultKind, FaultModel, Mesh};
+
+fn main() {
+    Args::banner(
+        "fig09",
+        "saturation throughput normalized to spanning tree",
+        &[
+            ("topos", "6"),
+            ("window", "6000"),
+            ("warmup", "2000"),
+            ("csv", "-"),
+        ],
+    );
+    let args = Args::parse();
+    let topos = args.get_usize("topos", 6);
+    let window = args.get_u64("window", 6_000);
+    let warmup = args.get_u64("warmup", 2_000);
+    let mesh = Mesh::new(8, 8);
+    let threads = default_threads(&args);
+    let rates = [0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.36];
+
+    let mut table = Table::new(
+        "Fig. 9: saturation throughput (flits/node/cycle) and normalization to sp-tree",
+        &[
+            "kind",
+            "faults",
+            "updown",
+            "tree_only",
+            "escape_vc",
+            "static_bubble",
+            "evc_vs_updown",
+            "sb_vs_updown",
+            "sb_vs_tree_only",
+        ],
+    );
+
+    let link_points = [1usize, 9, 17, 25, 33, 41, 49];
+    let router_points = [1usize, 6, 11, 16, 21, 26, 31];
+    for (kind, points) in [
+        (FaultKind::Links, link_points.as_slice()),
+        (FaultKind::Routers, router_points.as_slice()),
+    ] {
+        let rows = parallel_map(points.to_vec(), threads, |&faults| {
+            let model = FaultModel::new(kind, faults);
+            let batch = model.sample_topologies(mesh, 0xF16_0009 + faults as u64, topos);
+            let designs = [
+                Design::SpanningTree,
+                Design::TreeOnly,
+                Design::EscapeVc,
+                Design::StaticBubble,
+            ];
+            let mut sums = [0.0f64; 4];
+            for (i, topo) in batch.iter().enumerate() {
+                for (k, &d) in designs.iter().enumerate() {
+                    let (thr, _) = saturation_throughput(
+                        d,
+                        topo,
+                        SimConfig::single_vnet(),
+                        &rates,
+                        warmup,
+                        window,
+                        200 + i as u64,
+                        0.92,
+                    );
+                    sums[k] += thr;
+                }
+            }
+            let n = batch.len() as f64;
+            (faults, [sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n])
+        });
+        for (faults, [sp, tree, evc, sb]) in rows {
+            table.row(&[
+                format!("{kind:?}"),
+                faults.to_string(),
+                format!("{sp:.3}"),
+                format!("{tree:.3}"),
+                format!("{evc:.3}"),
+                format!("{sb:.3}"),
+                format!("{:.2}", evc / sp.max(1e-9)),
+                format!("{:.2}", sb / sp.max(1e-9)),
+                format!("{:.2}", sb / tree.max(1e-9)),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

@@ -1,0 +1,87 @@
+//! **Fig. 10** — average network energy breakdown (link/router ×
+//! dynamic/leakage) for the three designs at 2 / 7 / 15 / 30
+//! faulty/power-gated routers, uniform-random traffic at medium load.
+
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
+use sb_energy::EnergyModel;
+use sb_sim::{SimConfig, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh};
+
+fn main() {
+    Args::banner(
+        "fig10",
+        "network energy breakdown vs power-gated routers",
+        &[
+            ("topos", "8"),
+            ("cycles", "6000"),
+            ("rate", "0.08"),
+            ("csv", "-"),
+        ],
+    );
+    let args = Args::parse();
+    let topos = args.get_usize("topos", 8);
+    let cycles = args.get_u64("cycles", 6_000);
+    let rate = args.get_f64("rate", 0.08);
+    let mesh = Mesh::new(8, 8);
+    let model = EnergyModel::dsent_32nm();
+    let threads = default_threads(&args);
+
+    let mut table = Table::new(
+        "Fig. 10: avg network energy (pJ, normalized to sp-tree total at each fault count)",
+        &[
+            "pg_routers",
+            "design",
+            "link_dyn",
+            "router_dyn",
+            "link_leak",
+            "router_leak",
+            "total_norm",
+        ],
+    );
+
+    for &faults in &[2usize, 7, 15, 30] {
+        let fm = FaultModel::new(FaultKind::Routers, faults);
+        let batch = fm.sample_topologies(mesh, 0xF16_0010 + faults as u64, topos);
+        let per_design = parallel_map(Design::ALL.to_vec(), threads.min(3), |&d| {
+            let mut sum = sb_energy::EnergyBreakdown::default();
+            for (i, topo) in batch.iter().enumerate() {
+                let out = d.run(
+                    topo,
+                    SimConfig::single_vnet(),
+                    UniformTraffic::new(rate).single_vnet(),
+                    300 + i as u64,
+                    1_000,
+                    cycles,
+                );
+                let b = model.price(&out.stats, out.cost);
+                sum.router_dynamic += b.router_dynamic;
+                sum.link_dynamic += b.link_dynamic;
+                sum.router_leakage += b.router_leakage;
+                sum.link_leakage += b.link_leakage;
+            }
+            let n = batch.len() as f64;
+            sb_energy::EnergyBreakdown {
+                router_dynamic: sum.router_dynamic / n,
+                link_dynamic: sum.link_dynamic / n,
+                router_leakage: sum.router_leakage / n,
+                link_leakage: sum.link_leakage / n,
+            }
+        });
+        let sp_total = per_design[0].total();
+        for (d, b) in Design::ALL.iter().zip(&per_design) {
+            table.row(&[
+                faults.to_string(),
+                d.label().to_string(),
+                format!("{:.0}", b.link_dynamic),
+                format!("{:.0}", b.router_dynamic),
+                format!("{:.0}", b.link_leakage),
+                format!("{:.0}", b.router_leakage),
+                format!("{:.3}", b.total() / sp_total),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

@@ -1,0 +1,104 @@
+//! **Fig. 11** — deadlock-detection threshold (`t_DD`) sweep at high load
+//! with 20 router faults: probes sent over 10K cycles, link utilization per
+//! message class, and average packet latency.
+
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
+use sb_sim::{SimConfig, SpecialClass, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh};
+use static_bubble::SbOptions;
+
+fn main() {
+    Args::banner(
+        "fig11",
+        "t_DD sweep: probe count and per-class link utilization",
+        &[
+            ("topos", "8"),
+            ("cycles", "10000"),
+            ("rate", "0.30"),
+            ("csv", "-"),
+        ],
+    );
+    let args = Args::parse();
+    let topos = args.get_usize("topos", 8);
+    let cycles = args.get_u64("cycles", 10_000);
+    let rate = args.get_f64("rate", 0.30);
+    let mesh = Mesh::new(8, 8);
+    let threads = default_threads(&args);
+
+    let fm = FaultModel::new(FaultKind::Routers, 20);
+    let batch = fm.sample_topologies(mesh, 0xF16_0011, topos);
+
+    let tdds = [5u64, 10, 20, 34, 60, 100];
+    let mut table = Table::new(
+        "Fig. 11: t_DD sweep (SB, 20 router faults, high load, 10K cycles)",
+        &[
+            "t_dd",
+            "probes_10k",
+            "probe_util_pct",
+            "disable_util_pct",
+            "cp_util_pct",
+            "enable_util_pct",
+            "flit_util_pct",
+            "avg_latency",
+            "recovered",
+        ],
+    );
+
+    let rows = parallel_map(tdds.to_vec(), threads, |&tdd| {
+        let mut probes = 0.0;
+        let mut util = [0.0f64; 4];
+        let mut flit_util = 0.0;
+        let mut lat = 0.0;
+        let mut lat_n = 0usize;
+        let mut recovered = 0u64;
+        for (i, topo) in batch.iter().enumerate() {
+            let links = topo.alive_links().count() * 2;
+            let out = Design::StaticBubble.run_with_options(
+                topo,
+                SimConfig::single_vnet(),
+                UniformTraffic::new(rate).single_vnet(),
+                400 + i as u64,
+                0,
+                cycles,
+                tdd,
+                SbOptions::default(),
+            );
+            probes += out.stats.probes_sent as f64;
+            recovered += out.stats.deadlocks_recovered;
+            for c in SpecialClass::ALL {
+                util[c.index()] += 100.0 * out.stats.special_link_utilization(c, links);
+            }
+            flit_util += 100.0 * out.stats.data_link_utilization(links);
+            if let Some(l) = out.stats.avg_latency() {
+                lat += l;
+                lat_n += 1;
+            }
+        }
+        let n = batch.len() as f64;
+        (
+            tdd,
+            probes / n,
+            [util[0] / n, util[1] / n, util[2] / n, util[3] / n],
+            flit_util / n,
+            if lat_n > 0 { lat / lat_n as f64 } else { f64::NAN },
+            recovered,
+        )
+    });
+    for (tdd, probes, util, flit_util, lat, recovered) in rows {
+        table.row(&[
+            tdd.to_string(),
+            format!("{probes:.0}"),
+            format!("{:.2}", util[SpecialClass::Probe.index()]),
+            format!("{:.2}", util[SpecialClass::Disable.index()]),
+            format!("{:.2}", util[SpecialClass::CheckProbe.index()]),
+            format!("{:.2}", util[SpecialClass::Enable.index()]),
+            format!("{flit_util:.1}"),
+            format!("{lat:.1}"),
+            recovered.to_string(),
+        ]);
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

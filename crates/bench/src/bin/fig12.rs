@@ -1,0 +1,93 @@
+//! **Fig. 12** — Rodinia application throughput (completed transactions per
+//! kilocycle) for escape-VC and Static Bubble, normalized to the spanning
+//! tree, as link/router faults increase.
+
+use sb_bench::{parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table};
+use sb_sim::SimConfig;
+use sb_topology::{FaultKind, Mesh};
+use sb_workloads::{default_memory_controllers, AppTraffic, RodiniaApp};
+
+fn main() {
+    Args::banner(
+        "fig12",
+        "Rodinia app throughput normalized to spanning tree",
+        &[("topos", "4"), ("cycles", "20000"), ("csv", "-")],
+    );
+    let args = Args::parse();
+    let topos = args.get_usize("topos", 4);
+    let cycles = args.get_u64("cycles", 20_000);
+    let mesh = Mesh::new(8, 8);
+    let threads = default_threads(&args);
+
+    let mut table = Table::new(
+        "Fig. 12: Rodinia app throughput (txn/kcycle), normalized to sp-tree",
+        &[
+            "app", "kind", "faults", "sptree", "evc_norm", "sb_norm",
+        ],
+    );
+
+    let fault_points: [(FaultKind, usize); 8] = [
+        (FaultKind::Links, 0),
+        (FaultKind::Links, 5),
+        (FaultKind::Links, 10),
+        (FaultKind::Links, 20),
+        (FaultKind::Links, 30),
+        (FaultKind::Routers, 5),
+        (FaultKind::Routers, 10),
+        (FaultKind::Routers, 20),
+    ];
+
+    for app in RodiniaApp::ALL {
+        let rows = parallel_map(fault_points.to_vec(), threads, |&(kind, faults)| {
+            let mcs = default_memory_controllers(mesh);
+            let batch = sample_topologies_filtered(
+                mesh,
+                kind,
+                faults,
+                topos,
+                0xF16_0012 + faults as u64,
+                |t| AppTraffic::new(app.profile(), t).is_some() && {
+                    // Keep the paper's filter: MCs must not be disconnected.
+                    sb_workloads::mc::mcs_connected(t, &mcs) || faults == 0
+                },
+            );
+            if batch.is_empty() {
+                return (kind, faults, None);
+            }
+            let mut thr = [0.0f64; 3];
+            for (i, topo) in batch.iter().enumerate() {
+                for (k, &d) in Design::ALL.iter().enumerate() {
+                    let Some(traffic) = AppTraffic::new(app.profile(), topo) else {
+                        continue;
+                    };
+                    let mut completed_rate = 0.0;
+                    // Run the closed loop for the window; throughput =
+                    // completed transactions per kilocycle.
+                    let (_, completed, _) =
+                        d.run_app(topo, SimConfig::default(), traffic, 500 + i as u64, cycles);
+                    completed_rate += completed as f64 * 1000.0 / cycles as f64;
+                    thr[k] += completed_rate;
+                }
+            }
+            let n = batch.len() as f64;
+            (kind, faults, Some([thr[0] / n, thr[1] / n, thr[2] / n]))
+        });
+        for (kind, faults, res) in rows {
+            let Some([sp, evc, sb]) = res else {
+                continue;
+            };
+            table.row(&[
+                app.profile().name.to_string(),
+                format!("{kind:?}"),
+                faults.to_string(),
+                format!("{sp:.2}"),
+                format!("{:.2}", evc / sp.max(1e-9)),
+                format!("{:.2}", sb / sp.max(1e-9)),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

@@ -1,0 +1,79 @@
+//! **Supplemental** — the classic offered-load vs. latency/throughput curve
+//! for all four designs on one representative irregular topology (the raw
+//! curve whose knees Fig. 9 summarizes).
+
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
+use sb_sim::{SimConfig, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh};
+
+fn main() {
+    Args::banner(
+        "loadsweep",
+        "latency/throughput vs offered load on one faulty topology",
+        &[
+            ("faults", "15"),
+            ("seed", "1"),
+            ("window", "6000"),
+            ("csv", "-"),
+        ],
+    );
+    let args = Args::parse();
+    let faults = args.get_usize("faults", 15);
+    let seed = args.get_u64("seed", 1);
+    let window = args.get_u64("window", 6_000);
+    let mesh = Mesh::new(8, 8);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let topo = FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng);
+    let nodes = topo.alive_node_count();
+    let threads = default_threads(&args);
+
+    let mut table = Table::new(
+        &format!("Load sweep on an 8x8 mesh with {faults} link faults (latency cycles | thr flits/node/cycle)"),
+        &[
+            "rate",
+            "updown_lat", "updown_thr",
+            "treeonly_lat", "treeonly_thr",
+            "evc_lat", "evc_thr",
+            "sb_lat", "sb_thr",
+        ],
+    );
+    let rates: Vec<f64> = vec![0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25];
+    let designs = [
+        Design::SpanningTree,
+        Design::TreeOnly,
+        Design::EscapeVc,
+        Design::StaticBubble,
+    ];
+    let rows = parallel_map(rates, threads, |&rate| {
+        let mut cells = Vec::with_capacity(8);
+        for d in designs {
+            let out = d.run(
+                &topo,
+                SimConfig::single_vnet(),
+                UniformTraffic::new(rate).single_vnet(),
+                7,
+                1_500,
+                window,
+            );
+            cells.push(out.stats.avg_latency().unwrap_or(f64::NAN));
+            cells.push(out.stats.throughput(nodes));
+        }
+        (rate, cells)
+    });
+    for (rate, cells) in rows {
+        let mut row = vec![format!("{rate:.2}")];
+        for (i, c) in cells.iter().enumerate() {
+            row.push(if i % 2 == 0 {
+                format!("{c:.1}")
+            } else {
+                format!("{c:.3}")
+            });
+        }
+        table.row(&row);
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

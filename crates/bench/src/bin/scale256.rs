@@ -1,0 +1,75 @@
+//! **Scale check** — the paper's 256-core design point: 89 static bubbles
+//! on a 16×16 mesh (Table I), with recovery exercised at deadlock-prone
+//! load on regular and irregular instances.
+
+use sb_bench::{Args, Design, Table};
+use sb_sim::{SimConfig, UniformTraffic};
+use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
+use static_bubble::placement;
+
+fn main() {
+    Args::banner(
+        "scale256",
+        "16x16 (256-core) placement and recovery scale check",
+        &[("cycles", "6000"), ("rate", "0.08"), ("csv", "-")],
+    );
+    let args = Args::parse();
+    let cycles = args.get_u64("cycles", 6_000);
+    let rate = args.get_f64("rate", 0.08);
+    let mesh = Mesh::new(16, 16);
+
+    println!(
+        "placement: {} bubbles on 16x16 (paper: 89); coverage holds: {}",
+        placement::placement(mesh).len(),
+        placement::coverage_holds(mesh)
+    );
+
+    let mut table = Table::new(
+        "256-core: throughput and recovery at deadlock-prone load",
+        &[
+            "topology",
+            "design",
+            "throughput",
+            "avg_latency",
+            "probes",
+            "recovered",
+        ],
+    );
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(256);
+    let topologies = [
+        ("full".to_string(), Topology::full(mesh)),
+        (
+            "30-link-faults".to_string(),
+            FaultModel::new(FaultKind::Links, 30).inject(mesh, &mut rng),
+        ),
+        (
+            "20-router-faults".to_string(),
+            FaultModel::new(FaultKind::Routers, 20).inject(mesh, &mut rng),
+        ),
+    ];
+    for (name, topo) in &topologies {
+        for d in Design::ALL {
+            let out = d.run(
+                topo,
+                SimConfig::single_vnet(),
+                UniformTraffic::new(rate).single_vnet(),
+                1,
+                1_000,
+                cycles,
+            );
+            table.row(&[
+                name.clone(),
+                d.label().to_string(),
+                format!("{:.3}", out.stats.throughput(topo.alive_node_count())),
+                format!("{:.1}", out.stats.avg_latency().unwrap_or(f64::NAN)),
+                out.stats.probes_sent.to_string(),
+                out.stats.deadlocks_recovered.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = args.get_str("csv") {
+        table.write_csv(std::path::Path::new(path)).expect("write csv");
+    }
+}

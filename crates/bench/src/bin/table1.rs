@@ -1,0 +1,59 @@
+//! **Table I** — Static Bubble vs. escape VC: control, additional buffers
+//! and area overhead.
+
+use sb_bench::{Args, Table};
+use sb_energy::AreaModel;
+use sb_topology::Mesh;
+use static_bubble::placement;
+
+fn main() {
+    Args::banner("table1", "SB vs escape-VC cost comparison", &[]);
+    let area = AreaModel::dsent_32nm();
+
+    let mut table = Table::new(
+        "Table I: Static Bubble vs Escape VC",
+        &["row", "static_bubble", "escape_vc"],
+    );
+    table.row(&[
+        "operating mode".into(),
+        "deadlock recovery".into(),
+        "avoidance or recovery".into(),
+    ]);
+    table.row(&["pre-deadlock routes".into(), "minimal".into(), "minimal".into()]);
+    table.row(&[
+        "post-deadlock routes".into(),
+        "minimal".into(),
+        "non-minimal (spanning tree)".into(),
+    ]);
+    table.row(&[
+        "control".into(),
+        "FSM (Sec IV-C)".into(),
+        "spanning-tree routing table".into(),
+    ]);
+
+    for (cores, w) in [(64u32, 8u16), (256, 16)] {
+        let mesh = Mesh::new(w, w);
+        let sb_buffers = placement::placement(mesh).len();
+        // The paper counts one escape VC per message class (5) per router.
+        let evc_buffers = cores as usize * 5;
+        table.row(&[
+            format!("additional buffers ({cores}-core)"),
+            format!("{sb_buffers} (Eq. 1)"),
+            format!("{evc_buffers} (n*m*5)"),
+        ]);
+    }
+
+    // Area overheads over the plain 64-core network (48 buffers/router).
+    let (plain, sb, evc) = area.network_comparison(64, 48, 12, 21);
+    table.row(&[
+        "area overhead (64-core)".into(),
+        format!("{:.2}%", AreaModel::overhead_pct(plain, sb)),
+        format!("{:.1}%", AreaModel::overhead_pct(plain, evc)),
+    ]);
+    table.row(&[
+        "paper's area overhead".into(),
+        "~0% (<0.5% per router)".into(),
+        "18%".into(),
+    ]);
+    table.print();
+}

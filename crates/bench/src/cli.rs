@@ -1,0 +1,107 @@
+//! A minimal `--key value` argument parser (no extra dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus bare flags.
+///
+/// ```
+/// use sb_bench::Args;
+/// let args = Args::parse_from(["--topos", "16", "--sim"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("topos", 8), 16);
+/// assert!(args.flag("sim"));
+/// assert_eq!(args.get_u64("cycles", 5000), 5000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    args.values.insert(key.to_string(), v);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        args
+    }
+
+    /// Integer option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// u64 option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Float option with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    /// String option, `None` if absent.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Bare flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Print a standard usage banner for an experiment binary.
+    pub fn banner(name: &str, what: &str, knobs: &[(&str, &str)]) {
+        eprintln!("== {name}: {what}");
+        eprint!("   knobs:");
+        for (k, d) in knobs {
+            eprint!(" --{k} (default {d})");
+        }
+        eprintln!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed() {
+        let a = Args::parse_from(
+            ["--x", "3", "--flag", "--y", "2.5"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_usize("x", 0), 3);
+        assert_eq!(a.get_f64("y", 0.0), 2.5);
+        assert!(a.flag("flag"));
+        assert!(!a.flag("other"));
+        assert_eq!(a.get_u64("missing", 7), 7);
+    }
+}

@@ -1,0 +1,275 @@
+//! The three evaluated designs (Section V-B) behind one interface.
+
+use sb_energy::NetworkConfigCost;
+use sb_routing::{MinimalRouting, RouteSource, TreeOnlyRouting, UpDownRouting};
+use sb_sim::{
+    EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator, Stats, TrafficSource,
+};
+use sb_topology::Topology;
+use sb_workloads::AppTraffic;
+use static_bubble::{placement, SbOptions, StaticBubblePlugin};
+
+/// The deadlock-detection threshold used across experiments (Table II).
+pub const T_DD: u64 = 34;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Deadlock avoidance: all packets carry deadlock-free up*/down* routes.
+    SpanningTree,
+    /// Deadlock avoidance with *tree-only* routes (every packet follows the
+    /// unique spanning-tree path via the LCA — the literal "routed via the
+    /// root" baseline of Fig. 1). The conservative end of the paper's
+    /// baseline description; reported alongside up-down in Figs. 8/9.
+    TreeOnly,
+    /// Deadlock recovery with escape VCs (1 of the VCs per vnet per port is
+    /// reserved; escape routes are up*/down*).
+    EscapeVc,
+    /// The paper's contribution.
+    StaticBubble,
+}
+
+impl Design {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [Design; 3] = [Design::SpanningTree, Design::EscapeVc, Design::StaticBubble];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::SpanningTree => "sp-tree",
+            Design::TreeOnly => "tree-only",
+            Design::EscapeVc => "escape-vc",
+            Design::StaticBubble => "static-bubble",
+        }
+    }
+
+    /// The hardware inventory for energy/area pricing: the escape-VC design
+    /// adds one escape VC per vnet per input port at every router (Table I);
+    /// Static Bubble adds one buffer at each alive placement router.
+    pub fn cost(self, topo: &Topology, cfg: SimConfig) -> NetworkConfigCost {
+        match self {
+            Design::SpanningTree | Design::TreeOnly => {
+                NetworkConfigCost::for_topology(topo, cfg.vcs_per_port(), 0)
+            }
+            Design::EscapeVc => NetworkConfigCost::for_topology(
+                topo,
+                cfg.vcs_per_port() + cfg.vnets as usize,
+                0,
+            ),
+            Design::StaticBubble => NetworkConfigCost::for_topology(
+                topo,
+                cfg.vcs_per_port(),
+                placement::alive_bubbles(topo).len(),
+            ),
+        }
+    }
+
+    fn planner(self, topo: &Topology) -> Box<dyn RouteSource> {
+        match self {
+            Design::SpanningTree => Box::new(UpDownRouting::new(topo)),
+            Design::TreeOnly => Box::new(TreeOnlyRouting::new(topo)),
+            _ => Box::new(MinimalRouting::new(topo)),
+        }
+    }
+
+    /// Run `traffic` over `topo` for `warmup + cycles` cycles and return the
+    /// measurement-window statistics.
+    pub fn run<T: TrafficSource>(
+        self,
+        topo: &Topology,
+        cfg: SimConfig,
+        traffic: T,
+        seed: u64,
+        warmup: u64,
+        cycles: u64,
+    ) -> RunOutcome {
+        self.run_with_options(topo, cfg, traffic, seed, warmup, cycles, T_DD, SbOptions::default())
+    }
+
+    /// As [`Design::run`], exposing the detection threshold and ablation
+    /// options (only meaningful for [`Design::StaticBubble`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_options<T: TrafficSource>(
+        self,
+        topo: &Topology,
+        cfg: SimConfig,
+        traffic: T,
+        seed: u64,
+        warmup: u64,
+        cycles: u64,
+        tdd: u64,
+        opts: SbOptions,
+    ) -> RunOutcome {
+        let planner = self.planner(topo);
+        let stats = match self {
+            Design::SpanningTree | Design::TreeOnly => {
+                let mut sim = Simulator::new(topo, cfg, planner, NullPlugin, traffic, seed);
+                sim.warmup(warmup);
+                sim.run(cycles);
+                sim.core().stats().clone()
+            }
+            Design::EscapeVc => {
+                let mut sim = Simulator::new(
+                    topo,
+                    cfg,
+                    planner,
+                    EscapeVcPlugin::new(topo, tdd),
+                    traffic,
+                    seed,
+                );
+                sim.warmup(warmup);
+                sim.run(cycles);
+                sim.core().stats().clone()
+            }
+            Design::StaticBubble => {
+                let bubbles = placement::alive_bubbles(topo);
+                let mut sim = Simulator::with_bubbles(
+                    topo,
+                    cfg,
+                    planner,
+                    StaticBubblePlugin::with_options(topo.mesh(), tdd, opts),
+                    traffic,
+                    seed,
+                    &bubbles,
+                );
+                sim.warmup(warmup);
+                sim.run(cycles);
+                sim.core().stats().clone()
+            }
+        };
+        RunOutcome {
+            design: self,
+            cost: self.cost(topo, cfg),
+            stats,
+        }
+    }
+
+    /// Run a closed-loop application to completion (or `max_cycles`).
+    /// Returns `(runtime, outcome)`: `runtime` is `None` if the budget did
+    /// not finish (counts as the maximum for runtime comparisons).
+    pub fn run_app(
+        self,
+        topo: &Topology,
+        cfg: SimConfig,
+        app: AppTraffic,
+        seed: u64,
+        max_cycles: u64,
+    ) -> (Option<u64>, u64, RunOutcome) {
+        macro_rules! drive {
+            ($sim:expr) => {{
+                let mut sim = $sim;
+                let mut runtime = None;
+                while sim.time() < max_cycles {
+                    sim.run(256);
+                    if sim.traffic().finished() && sim.core().in_flight() == 0 {
+                        runtime = Some(sim.time());
+                        break;
+                    }
+                }
+                let completed = sim.traffic().completed();
+                (runtime, completed, sim.core().stats().clone())
+            }};
+        }
+        let planner = self.planner(topo);
+        let (runtime, completed, stats) = match self {
+            Design::SpanningTree | Design::TreeOnly => {
+                drive!(Simulator::new(topo, cfg, planner, NullPlugin, app, seed))
+            }
+            Design::EscapeVc => drive!(Simulator::new(
+                topo,
+                cfg,
+                planner,
+                EscapeVcPlugin::new(topo, T_DD),
+                app,
+                seed
+            )),
+            Design::StaticBubble => {
+                let bubbles = placement::alive_bubbles(topo);
+                drive!(Simulator::with_bubbles(
+                    topo,
+                    cfg,
+                    planner,
+                    StaticBubblePlugin::new(topo.mesh(), T_DD),
+                    app,
+                    seed,
+                    &bubbles
+                ))
+            }
+        };
+        (
+            runtime,
+            completed,
+            RunOutcome {
+                design: self,
+                cost: self.cost(topo, cfg),
+                stats,
+            },
+        )
+    }
+
+    /// Drain helper for experiments that need an empty network between
+    /// phases; returns whether the drain completed.
+    pub fn drain_probe(self, topo: &Topology, cfg: SimConfig, seed: u64, cycles: u64) -> bool {
+        let planner = self.planner(topo);
+        let mut sim = Simulator::new(topo, cfg, planner, NullPlugin, NoTraffic, seed);
+        sim.run_until_drained(cycles)
+    }
+}
+
+/// The result of one design run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which design produced it.
+    pub design: Design,
+    /// Hardware inventory for pricing.
+    pub cost: NetworkConfigCost,
+    /// Measurement-window statistics.
+    pub stats: Stats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_sim::UniformTraffic;
+    use sb_topology::{Mesh, Topology};
+
+    #[test]
+    fn all_designs_deliver_at_low_load() {
+        let topo = Topology::full(Mesh::new(6, 6));
+        for d in Design::ALL {
+            let out = d.run(
+                &topo,
+                SimConfig::single_vnet(),
+                UniformTraffic::new(0.05).single_vnet(),
+                3,
+                500,
+                2_000,
+            );
+            assert!(out.stats.delivered_packets > 50, "{:?}", d);
+            assert!(out.stats.acceptance() > 0.9, "{:?}", d);
+        }
+    }
+
+    #[test]
+    fn sb_cost_includes_bubbles_evc_includes_escape_vcs() {
+        let topo = Topology::full(Mesh::new(8, 8));
+        let cfg = SimConfig::single_vnet();
+        let sp = Design::SpanningTree.cost(&topo, cfg);
+        let sb = Design::StaticBubble.cost(&topo, cfg);
+        let evc = Design::EscapeVc.cost(&topo, cfg);
+        assert_eq!(sb.total_buffers, sp.total_buffers + 21);
+        assert_eq!(evc.total_buffers, sp.total_buffers + 64 * 4);
+    }
+
+    #[test]
+    fn app_run_finishes_on_full_mesh() {
+        let topo = Topology::full(Mesh::new(8, 8));
+        let app = AppTraffic::new(sb_workloads::ParsecApp::Canneal.profile(), &topo)
+            .unwrap()
+            .with_budget(200);
+        let (runtime, completed, _) =
+            Design::StaticBubble.run_app(&topo, SimConfig::default(), app, 5, 300_000);
+        assert_eq!(completed, 200);
+        assert!(runtime.is_some());
+    }
+}

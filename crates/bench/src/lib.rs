@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Experiment harness (system **S9**, `DESIGN.md`): shared machinery for
+//! the per-figure binaries in `src/bin/`.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin fig08 -- --topos 8 --cycles 6000
+//! ```
+//!
+//! Every binary prints the paper's rows/series to stdout; `--help` lists the
+//! knobs. Defaults are sized to finish on a laptop; `EXPERIMENTS.md` records
+//! the settings used for the committed results.
+
+pub mod cli;
+pub mod design;
+pub mod sweep;
+pub mod table;
+
+pub use cli::Args;
+pub use design::{Design, RunOutcome};
+pub use sweep::{parallel_map, sample_topologies_filtered, saturation_throughput, SweepPoint};
+pub use table::Table;

@@ -1,0 +1,142 @@
+//! Aligned-column result tables with optional CSV output.
+
+use std::fmt::Write as _;
+
+/// A simple results table: print aligned to stdout and/or dump CSV.
+///
+/// ```
+/// use sb_bench::Table;
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1".into(), "2.5".into()]);
+/// assert!(t.to_csv().contains("x,y"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: format `f64` cells with 3 decimals, keeping strings.
+    pub fn row_mixed(&mut self, cells: &[Cell]) {
+        let cells: Vec<String> = cells
+            .iter()
+            .map(|c| match c {
+                Cell::S(s) => s.clone(),
+                Cell::I(i) => i.to_string(),
+                Cell::F(f) => format!("{f:.3}"),
+            })
+            .collect();
+        self.row(&cells);
+    }
+
+    /// Render aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// CSV form (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Write CSV to `path` (directories created as needed).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating the directory or writing the file.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Heterogeneous table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// String cell.
+    S(String),
+    /// Integer cell.
+    I(i64),
+    /// Float cell (3 decimals).
+    F(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn mixed_cells() {
+        let mut t = Table::new("t", &["s", "i", "f"]);
+        t.row_mixed(&[Cell::S("x".into()), Cell::I(7), Cell::F(1.23456)]);
+        assert!(t.to_csv().contains("x,7,1.235"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new("t", &["a"]).row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,1008 @@
+//! The Static Bubble runtime: per-router protocol state, special-message
+//! processing, and the [`Plugin`] hooks that tie it into the simulator.
+//!
+//! This implements Section IV of the paper, including the corner cases of
+//! Section IV-B:
+//!
+//! * probes from a lower-id static-bubble sender are dropped at SB nodes;
+//! * at most one special message per output port per cycle, with priority
+//!   `check_probe > disable/enable > probe` and higher sender id winning
+//!   ties; a disable and an enable colliding on one output are resolved by
+//!   the local `is_deadlock` bit;
+//! * a second disable at a node whose `is_deadlock` bit is already set is
+//!   dropped;
+//! * disables are validated against the *current* buffer dependence at every
+//!   hop including the sender, and dropped on mismatch (false positives);
+//! * enables are always forwarded, but only processed when the carried
+//!   sender id matches the stored source id;
+//! * SB nodes in a recovery state drop disables/enables from other senders;
+//!   an SB node in detection receiving a (higher-id) disable processes it
+//!   like a normal node and its counter FSM goes to `SOff`.
+
+use crate::fsm::{FsmState, SbFsm, VcPointer};
+use crate::msg::{InFlightMsg, MsgKind, SpecialMsg};
+use crate::placement;
+use sb_sim::{InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef};
+use sb_topology::{Direction, Mesh, NodeId, Turn, DIRECTIONS};
+use std::collections::BTreeMap;
+
+/// Per-router protocol registers present in **every** router (SB or not):
+/// the `is_deadlock` bit, the IO-priority buffer and the source-id buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ProtState {
+    /// Injection into `io.1` is restricted to input `io.0` while set.
+    is_deadlock: bool,
+    /// (input port, output port) of the frozen chain through this router.
+    io: Option<(Direction, Direction)>,
+    /// The static-bubble node that froze this router.
+    source: Option<NodeId>,
+    /// Auto-expiry cycle of the restriction (deviation, DESIGN.md): a small
+    /// per-router TTL counter guarantees a lost enable can never poison a
+    /// router forever. Normal recoveries clear restrictions via enables long
+    /// before the TTL fires.
+    expires_at: u64,
+}
+
+/// What to do with a message after local evaluation.
+enum Action {
+    /// Forward out of `out` (already stripped/appended).
+    Forward { out: Direction, msg: SpecialMsg },
+    /// Drop silently.
+    Drop,
+}
+
+/// Ablation switches for the design choices called out in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbOptions {
+    /// Fork probes toward every wanted output (paper's design). When off,
+    /// a probe is forwarded only if all VCs at the input port agree on one
+    /// output (the strawman of Section IV-B's "Why do we need to fork?").
+    pub forking: bool,
+    /// Use the check-probe fast path after a recovery step (footnote 7's
+    /// optimization). When off, the bubble reclaim goes straight to the
+    /// enable, and a fresh probe must re-detect any remaining deadlock.
+    pub check_probe: bool,
+}
+
+impl Default for SbOptions {
+    fn default() -> Self {
+        SbOptions {
+            forking: true,
+            check_probe: true,
+        }
+    }
+}
+
+/// The Static Bubble deadlock-recovery plugin (one per simulation).
+#[derive(Debug)]
+pub struct StaticBubblePlugin {
+    fsms: BTreeMap<NodeId, SbFsm>,
+    prot: Vec<ProtState>,
+    in_flight: Vec<InFlightMsg>,
+    tdd: u64,
+    /// TTL of `is_deadlock` restrictions (cycles).
+    restriction_ttl: u64,
+    opts: SbOptions,
+}
+
+impl StaticBubblePlugin {
+    /// Build the plugin for a mesh, installing an FSM at every placement
+    /// node (use [`placement::placement`] for the bubble list passed to
+    /// [`sb_sim::Simulator::with_bubbles`]).
+    ///
+    /// `tdd` is the deadlock-detection threshold (Table II uses 34).
+    pub fn new(mesh: Mesh, tdd: u64) -> Self {
+        Self::with_options(mesh, tdd, SbOptions::default())
+    }
+
+    /// Build the plugin with explicit ablation options.
+    pub fn with_options(mesh: Mesh, tdd: u64, opts: SbOptions) -> Self {
+        Self::with_bubble_nodes(mesh, tdd, opts, &placement::placement(mesh))
+    }
+
+    /// Build the plugin with an explicit static-bubble router set (the paper
+    /// notes that "alternate hand-optimized placements, some with fewer
+    /// static bubbles, are also possible" — see
+    /// [`placement::greedy_placement`]). The caller must pass the same
+    /// set to [`sb_sim::Simulator::with_bubbles`].
+    pub fn with_bubble_nodes(mesh: Mesh, tdd: u64, opts: SbOptions, nodes: &[NodeId]) -> Self {
+        // Each router's detection timer gets a small id-dependent stagger:
+        // identical periods at every node phase-lock probe collisions in a
+        // synchronous network (real timers drift; DSENT-era designs stagger
+        // counters for the same reason).
+        let fsms = nodes
+            .iter()
+            .map(|&n| (n, SbFsm::new(n, tdd + u64::from(n.0) % 7)))
+            .collect();
+        StaticBubblePlugin {
+            fsms,
+            prot: vec![ProtState::default(); mesh.node_count()],
+            in_flight: Vec::new(),
+            tdd,
+            restriction_ttl: 64 * tdd.max(1),
+            opts,
+        }
+    }
+
+    /// The detection threshold.
+    pub fn tdd(&self) -> u64 {
+        self.tdd
+    }
+
+    /// The FSM of a static-bubble router, if `node` is one.
+    pub fn fsm(&self, node: NodeId) -> Option<&SbFsm> {
+        self.fsms.get(&node)
+    }
+
+    /// Number of routers currently frozen (`is_deadlock` set).
+    pub fn frozen_routers(&self) -> usize {
+        self.prot.iter().filter(|p| p.is_deadlock).count()
+    }
+
+    /// Diagnostic view of frozen routers: `(router, (in, out), source)`.
+    pub fn frozen_details(&self) -> Vec<(NodeId, (Direction, Direction), NodeId)> {
+        self.prot
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_deadlock)
+            .map(|(i, p)| {
+                (
+                    NodeId::from(i),
+                    p.io.expect("frozen router has io"),
+                    p.source.expect("frozen router has source"),
+                )
+            })
+            .collect()
+    }
+
+    /// Special messages currently in flight (diagnostics).
+    pub fn in_flight_messages(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Message transmission
+    // ------------------------------------------------------------------
+
+    /// Schedule `msg` out of `(from, out)`: it arrives at the neighbour in
+    /// 2 cycles (1-cycle process + 1-cycle link) and its link traversal is
+    /// accounted per class.
+    fn send(&mut self, core: &mut NetCore, from: NodeId, out: Direction, msg: SpecialMsg) {
+        debug_assert!(core.topology().link_alive(from, out), "special message over dead link");
+        let to = core
+            .topology()
+            .mesh()
+            .neighbor(from, out)
+            .expect("alive link");
+        core.stats_mut().special_link_flits[msg.kind.stat_class().index()] += 1;
+        self.in_flight.push(InFlightMsg {
+            in_port: out.opposite(),
+            arrive_at: core.time() + 2,
+            msg,
+            to,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Message evaluation (transit messages at any router)
+    // ------------------------------------------------------------------
+
+    /// Evaluate a transit message (sender ≠ router) against current state,
+    /// without mutating. Returns the action; state mutation happens in
+    /// `apply_transit` once the message wins its output port.
+    fn evaluate_transit(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        in_port: Direction,
+        msg: &SpecialMsg,
+    ) -> Vec<Action> {
+        let travel = in_port.opposite();
+        let prot = &self.prot[router.index()];
+        let is_sb = self.fsms.contains_key(&router);
+        match msg.kind {
+            MsgKind::Probe => {
+                // SB nodes drop probes from lower-id senders — the higher-id
+                // node is responsible for any cycle through both. Exception
+                // (deviation, DESIGN.md): if this node's bubble is occupied
+                // by a stranded packet it cannot currently recover anything,
+                // so it defers to lower-id nodes instead of suppressing
+                // them.
+                let bubble_usable = core
+                    .bubble(router)
+                    .is_some_and(|b| b.slot.occupant().is_none());
+                if is_sb && msg.sender < router && bubble_usable {
+                    DBG_LOWER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return vec![Action::Drop];
+                }
+                // Fork iff all VCs of the vnet at this input port are active.
+                if !core.all_vcs_occupied(router, in_port, msg.vnet) {
+                    DBG_NOTOCC.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return vec![Action::Drop];
+                }
+                let wants = core.wanted_outputs(router, in_port, msg.vnet);
+                if !self.opts.forking && wants.len() > 1 {
+                    // Ablation: the non-forking strawman drops probes at
+                    // any divergence point.
+                    return vec![Action::Drop];
+                }
+                let mut copies = Vec::new();
+                for want in wants {
+                    let OutPort::Dir(d) = want else {
+                        continue; // never towards ejection
+                    };
+                    let Some(turn) = Turn::between(travel, d) else {
+                        continue; // u-turns cannot occur (no-u-turn routing)
+                    };
+                    let mut copy = msg.clone();
+                    if copy.push_turn(turn) {
+                        copies.push(Action::Forward { out: d, msg: copy });
+                    } else {
+                        DBG_CAP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                if copies.is_empty() {
+                    copies.push(Action::Drop);
+                }
+                copies
+            }
+            MsgKind::Disable => {
+                if is_sb && self.fsms[&router].in_recovery() {
+                    DBG_D_RECOV.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return vec![Action::Drop];
+                }
+                if prot.is_deadlock {
+                    DBG_D_FROZEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return vec![Action::Drop]; // second disable dropped
+                }
+                let mut m = msg.clone();
+                let Some(out) = m.strip_turn(travel) else {
+                    return vec![Action::Drop];
+                };
+                // Same buffer dependence as when the probe passed?
+                let holds = core.all_vcs_occupied(router, in_port, m.vnet)
+                    && core
+                        .wanted_outputs(router, in_port, m.vnet)
+                        .contains(&OutPort::Dir(out));
+                if holds {
+                    vec![Action::Forward { out, msg: m }]
+                } else {
+                    DBG_D_VALID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    vec![Action::Drop]
+                }
+            }
+            MsgKind::CheckProbe => {
+                let mut m = msg.clone();
+                let Some(out) = m.strip_turn(travel) else {
+                    return vec![Action::Drop];
+                };
+                // Forward along the frozen chain while at least one VC is
+                // still part of it (Buffer Dependency Check unit).
+                let on_chain = prot.is_deadlock
+                    && prot.source == Some(msg.sender)
+                    && prot.io == Some((in_port, out))
+                    && core
+                        .wanted_outputs(router, in_port, m.vnet)
+                        .contains(&OutPort::Dir(out));
+                if on_chain {
+                    vec![Action::Forward { out, msg: m }]
+                } else {
+                    vec![Action::Drop]
+                }
+            }
+            MsgKind::Enable => {
+                // Enables are forwarded even through SB nodes that are in a
+                // recovery state of their own: processing is gated by the
+                // source-id match, so forwarding is always safe, and
+                // dropping them can wedge the network — router restrictions
+                // placed by sender A would never clear while node B stays
+                // in recovery, and B's recovery may itself be blocked on
+                // A's frozen routers (deviation from one sentence of
+                // Sec. IV-B; see DESIGN.md).
+                let mut m = msg.clone();
+                let Some(out) = m.strip_turn(travel) else {
+                    return vec![Action::Drop];
+                };
+                // Forwarded regardless of the source-id match; the match
+                // only gates local processing (apply_transit).
+                vec![Action::Forward { out, msg: m }]
+            }
+        }
+    }
+
+    /// Apply the state mutation of a transit message that won its output.
+    fn apply_transit(
+        &mut self,
+        now: u64,
+        router: NodeId,
+        in_port: Direction,
+        out: Direction,
+        msg: &SpecialMsg,
+    ) {
+        let self_expiry = now + self.restriction_ttl;
+        let prot = &mut self.prot[router.index()];
+        match msg.kind {
+            MsgKind::Disable => {
+                prot.is_deadlock = true;
+                prot.io = Some((in_port, out));
+                prot.source = Some(msg.sender);
+                prot.expires_at = self_expiry;
+                // An SB node in detection that processes a (higher-id)
+                // disable sends its counter to SOff.
+                if let Some(fsm) = self.fsms.get_mut(&router) {
+                    debug_assert!(!fsm.in_recovery());
+                    fsm.state = FsmState::SOff;
+                    fsm.watching = None;
+                    fsm.restart_counter();
+                }
+            }
+            MsgKind::Enable => {
+                if prot.source == Some(msg.sender) {
+                    prot.is_deadlock = false;
+                    prot.io = None;
+                    prot.source = None;
+                }
+            }
+            MsgKind::Probe | MsgKind::CheckProbe => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Returned messages (sender == router): consumed, never forwarded
+    // ------------------------------------------------------------------
+
+    fn consume_returned(
+        &mut self,
+        core: &mut NetCore,
+        router: NodeId,
+        in_port: Direction,
+        msg: SpecialMsg,
+    ) {
+        let Some(fsm) = self.fsms.get_mut(&router) else {
+            debug_assert!(false, "returned message at non-SB node");
+            return;
+        };
+        match msg.kind {
+            MsgKind::Probe => {
+                DBG_RETURN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Several probes can be outstanding (one per pointed VC), so
+                // the output port this particular probe left from is
+                // reconstructed from its turn list rather than read from a
+                // register the next probe may have overwritten.
+                let origin_out = msg.origin_out(in_port.opposite());
+                // A returned probe confirms a closed dependence walk, but
+                // only a walk that closes into a VC *wanting the original
+                // probe output* is a cycle this bubble can break. Screening
+                // that here — the same check the disable return applies —
+                // rejects pseudo-cycles immediately instead of tying the FSM
+                // up in a doomed disable/enable round while genuine cycle
+                // probes return to a busy FSM and get dropped.
+                let closes_cycle = core.all_vcs_occupied(router, in_port, msg.vnet)
+                    && core
+                        .wanted_outputs(router, in_port, msg.vnet)
+                        .contains(&OutPort::Dir(origin_out));
+                // Dependence chain confirmed; latch the path and freeze it.
+                if fsm.state == FsmState::SDd && closes_cycle {
+                    if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
+                        eprintln!("[{}] latch at n{} in={:?} origin_out={:?} turns={}", core.time(), router.0, in_port, origin_out, msg.turns.len());
+                    }
+                    DBG_LATCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    fsm.probe_out = origin_out;
+                    fsm.probe_vnet = msg.vnet;
+                    fsm.latch_probe(msg.turns.clone());
+                    let disable = SpecialMsg::with_path(
+                        MsgKind::Disable,
+                        router,
+                        msg.vnet,
+                        fsm.turn_buffer.clone(),
+                    );
+                    self.send(core, router, origin_out, disable);
+                }
+                // In any other state this is a second cycle's probe: drop.
+            }
+            MsgKind::Disable => {
+                if fsm.state != FsmState::SDisable {
+                    return;
+                }
+                // Validate the sender's own buffer dependence (a false
+                // positive may have cleared while the disable circulated).
+                let out = fsm.probe_out;
+                let holds = core.all_vcs_occupied(router, in_port, msg.vnet)
+                    && core
+                        .wanted_outputs(router, in_port, msg.vnet)
+                        .contains(&OutPort::Dir(out));
+                // The bubble may still hold a leftover occupant from an
+                // aborted earlier recovery; it cannot be re-armed until that
+                // packet drains.
+                let bubble_free = core
+                    .bubble(router)
+                    .is_some_and(|b| b.slot.occupant().is_none());
+                if !holds || !bubble_free {
+                    if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
+                        eprintln!("[{}] disfail at n{} in={:?} probe_out={:?} holds={} bubble_free={}", core.time(), router.0, in_port, out, holds, bubble_free);
+                    }
+                    DBG_DISFAIL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return; // timeout will send the enable
+                }
+                fsm.state = FsmState::SSbActive;
+                fsm.chain_in = in_port;
+                fsm.restart_counter();
+                let vnet = msg.vnet;
+                self.prot[router.index()] = ProtState {
+                    is_deadlock: true,
+                    io: Some((in_port, out)),
+                    source: Some(router),
+                    expires_at: core.time() + self.restriction_ttl,
+                };
+                core.bubble_activate(router, in_port, vnet);
+                core.stats_mut().deadlocks_recovered += 1;
+            }
+            MsgKind::CheckProbe => {
+                if fsm.state != FsmState::SCheckProbe {
+                    return;
+                }
+                // The chain is still deadlocked: open the bubble again.
+                fsm.state = FsmState::SSbActive;
+                fsm.restart_counter();
+                let (port, vnet) = (fsm.chain_in, fsm.probe_vnet);
+                core.bubble_activate(router, port, vnet);
+            }
+            MsgKind::Enable => {
+                if fsm.state != FsmState::SEnable {
+                    return;
+                }
+                // Fig. 5: "enable rcvd & VCs active → increment counter
+                // pointer, reset is_deadlock, rsc → SDD". Advancing the
+                // pointer past the VC whose recovery attempt just ended is
+                // what guarantees the FSM eventually probes a VC that lies
+                // on a recoverable cycle instead of retrying one whose
+                // probe keeps failing validation.
+                let after = fsm.watching.map(|w| (w.port, w.vc));
+                fsm.clear_recovery();
+                self.prot[router.index()] = ProtState::default();
+                let fsm = self.fsms.get_mut(&router).expect("still an SB node");
+                if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
+                    fsm.watching = Some(ptr);
+                    fsm.state = FsmState::SDd;
+                    fsm.restart_counter();
+                }
+            }
+        }
+    }
+
+    /// Footnote 6 of the paper: a packet sitting in the static bubble that
+    /// is waiting for some *other* output port moves sideways into a regular
+    /// VC of its vnet at the attached input port as soon as one frees (the
+    /// chain packet departing through the protected output frees it). This
+    /// is what lets the bubble be re-claimed even when its occupant is stuck
+    /// behind unrelated congestion.
+    fn relocate_bubble_occupants(&mut self, core: &mut NetCore) {
+        let nodes: Vec<NodeId> = self.fsms.keys().copied().collect();
+        let now = core.time();
+        for router in nodes {
+            let Some(b) = core.bubble(router) else {
+                continue;
+            };
+            let Some((port, vnet)) = b.attach else {
+                continue;
+            };
+            if b.slot.occupant().is_none() {
+                continue;
+            }
+            let Some(free_vc) = core.first_free_regular_vc(router, port, vnet) else {
+                continue;
+            };
+            // Move the packet bubble → regular VC (intra-router, no link).
+            let occ = core
+                .bubble_take_occupant(router)
+                .expect("checked occupied");
+            core.vc_mut(VcRef {
+                router,
+                port,
+                vc: free_vc,
+            })
+            .put(occ, now);
+            // The bubble is re-claimed: same transition as on_bubble_freed.
+            self.on_bubble_freed(core, router);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FSM ticking
+    // ------------------------------------------------------------------
+
+    /// The cyclic (port, vc) order used by the round-robin VC pointer.
+    fn next_occupied_vc(
+        core: &NetCore,
+        router: NodeId,
+        after: Option<(Direction, u8)>,
+    ) -> Option<VcPointer> {
+        let vcs = core.config().vcs_per_port() as u8;
+        let total = 4 * vcs as usize;
+        let start = match after {
+            Some((p, v)) => p.index() * vcs as usize + v as usize + 1,
+            None => 0,
+        };
+        for k in 0..total {
+            let i = (start + k) % total;
+            let port = Direction::from_index(i / vcs as usize);
+            let vc = (i % vcs as usize) as u8;
+            if let Some(occ) = core.vc(VcRef { router, port, vc }).occupant() {
+                return Some(VcPointer {
+                    port,
+                    vc,
+                    pkt: occ.pkt.id,
+                });
+            }
+        }
+        None
+    }
+
+    fn tick_fsm(&mut self, core: &mut NetCore, router: NodeId) {
+        let fsm = self.fsms.get_mut(&router).expect("ticking SB node");
+        match fsm.state {
+            FsmState::SOff => {
+                if let Some(ptr) = Self::next_occupied_vc(core, router, None) {
+                    fsm.watching = Some(ptr);
+                    fsm.state = FsmState::SDd;
+                    fsm.restart_counter();
+                }
+            }
+            FsmState::SDd => {
+                let watched = fsm.watching.expect("SDd has a pointer");
+                let slot = core.vc(VcRef {
+                    router,
+                    port: watched.port,
+                    vc: watched.vc,
+                });
+                let still_waiting = slot
+                    .occupant()
+                    .filter(|o| o.pkt.id == watched.pkt)
+                    .and_then(|o| o.pkt.desired_hop());
+                match still_waiting {
+                    Some(dir) => {
+                        fsm.count += 1;
+                        if fsm.count >= fsm.effective_tdd() {
+                            // Timeout: suspected deadlock. Send a probe out
+                            // of the output port the stuck packet wants.
+                            let vnet = slot.occupant().expect("checked").pkt.vnet;
+                            fsm.probe_out = dir;
+                            fsm.probe_vnet = vnet;
+                            fsm.restart_counter();
+                            // Advance the pointer round-robin so every
+                            // stalled VC is probed in turn. (Deviation from
+                            // the letter of Fig. 5, which advances only when
+                            // the flit leaves: a VC blocked *behind* a
+                            // remote cycle would otherwise monopolise the
+                            // counter and the on-cycle VCs of this router
+                            // would never be probed — livelock. See
+                            // DESIGN.md.)
+                            let cur = fsm.watching.map(|w| (w.port, w.vc));
+                            fsm.watching = Self::next_occupied_vc(core, router, cur)
+                                .or(fsm.watching);
+                            fsm.probe_backoff = (fsm.probe_backoff + 1).min(5);
+                            core.stats_mut().probes_sent += 1;
+                            let probe = SpecialMsg::probe(router, vnet);
+                            self.send(core, router, dir, probe);
+                        }
+                    }
+                    None => {
+                        // The flit left (or wants ejection): local movement,
+                        // so detection urgency resets. Point to the next
+                        // active VC round-robin, or switch off.
+                        fsm.probe_backoff = 0;
+                        match Self::next_occupied_vc(
+                            core,
+                            router,
+                            Some((watched.port, watched.vc)),
+                        ) {
+                            Some(ptr) => {
+                                fsm.watching = Some(ptr);
+                                fsm.restart_counter();
+                            }
+                            None => {
+                                fsm.watching = None;
+                                fsm.state = FsmState::SOff;
+                                fsm.restart_counter();
+                            }
+                        }
+                    }
+                }
+            }
+            FsmState::SDisable | FsmState::SCheckProbe => {
+                fsm.count += 1;
+                if fsm.count > fsm.tdr {
+                    // The disable/check-probe was dropped mid-way: release
+                    // the restrictions placed so far.
+                    fsm.state = FsmState::SEnable;
+                    fsm.restart_counter();
+                    let enable = SpecialMsg::with_path(
+                        MsgKind::Enable,
+                        router,
+                        fsm.probe_vnet,
+                        fsm.turn_buffer.clone(),
+                    );
+                    let out = fsm.probe_out;
+                    self.send(core, router, out, enable);
+                }
+            }
+            FsmState::SEnable => {
+                fsm.count += 1;
+                if fsm.count > fsm.tdr {
+                    fsm.restart_counter();
+                    fsm.enable_retries += 1;
+                    if fsm.enable_retries > 4 {
+                        // Give up (deviation, DESIGN.md): long latched paths
+                        // can make the enable's round trip arbitrarily
+                        // fragile under heavy special-message traffic.
+                        // Clear local state and return to detection duty;
+                        // restrictions at unreachable routers expire via the
+                        // TTL.
+                        let after = fsm.watching.map(|w| (w.port, w.vc));
+                        fsm.clear_recovery();
+                        self.prot[router.index()] = ProtState::default();
+                        let fsm = self.fsms.get_mut(&router).expect("SB node");
+                        if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
+                            fsm.watching = Some(ptr);
+                            fsm.state = FsmState::SDd;
+                            fsm.restart_counter();
+                        }
+                        return;
+                    }
+                    let enable = SpecialMsg::with_path(
+                        MsgKind::Enable,
+                        router,
+                        fsm.probe_vnet,
+                        fsm.turn_buffer.clone(),
+                    );
+                    let out = fsm.probe_out;
+                    self.send(core, router, out, enable);
+                }
+            }
+            FsmState::SSbActive => {
+                // The paper leaves the counter off here and relies on the
+                // bubble being claimed by the frozen chain. If the buffer
+                // dependence drifted while the disable circulated (a
+                // congestion false positive), nobody ever claims the bubble
+                // and the FSM would wedge with its chain frozen forever.
+                // Watchdog (deviation, see DESIGN.md): an *unclaimed* bubble
+                // for t_DR cycles is treated like a reclaim — switch it off
+                // and re-verify the chain with a check-probe.
+                let bubble_empty = core
+                    .bubble(router)
+                    .is_some_and(|b| b.slot.occupant().is_none());
+                if bubble_empty {
+                    fsm.count += 1;
+                    if fsm.count > fsm.tdr {
+                        fsm.state = FsmState::SCheckProbe;
+                        fsm.restart_counter();
+                        let cp = SpecialMsg::with_path(
+                            MsgKind::CheckProbe,
+                            router,
+                            fsm.probe_vnet,
+                            fsm.turn_buffer.clone(),
+                        );
+                        let out = fsm.probe_out;
+                        core.bubble_deactivate(router);
+                        self.send(core, router, out, cp);
+                    }
+                } else {
+                    // Occupied bubble: normally the ring rotates and the
+                    // occupant departs within a few serialization times. If
+                    // the chain dependence drifted mid-recovery the rotation
+                    // can wedge with the occupant stuck behind unrelated
+                    // traffic while our restrictions starve the rest of the
+                    // network. Second watchdog stage (deviation, DESIGN.md):
+                    // release the restrictions; the occupant drains as an
+                    // ordinary buffered packet and the bubble stays
+                    // deactivated until then.
+                    fsm.count += 1;
+                    let occupied_watchdog = (8 * fsm.tdr).max(4 * fsm.tdd);
+                    if fsm.count > occupied_watchdog {
+                        core.bubble_deactivate(router);
+                        fsm.state = FsmState::SEnable;
+                        fsm.restart_counter();
+                        let enable = SpecialMsg::with_path(
+                            MsgKind::Enable,
+                            router,
+                            fsm.probe_vnet,
+                            fsm.turn_buffer.clone(),
+                        );
+                        let out = fsm.probe_out;
+                        self.send(core, router, out, enable);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Plugin for StaticBubblePlugin {
+    fn after_cycle(&mut self, core: &mut NetCore) {
+        self.relocate_bubble_occupants(core);
+    }
+
+    fn before_cycle(&mut self, core: &mut NetCore) {
+        let now = core.time();
+        // TTL sweep: lost enables cannot poison a router forever.
+        for p in &mut self.prot {
+            if p.is_deadlock && now >= p.expires_at {
+                *p = ProtState::default();
+            }
+        }
+        // 1. Deliver messages arriving this cycle, grouped by router.
+        let mut arrivals: BTreeMap<NodeId, Vec<(Direction, SpecialMsg)>> = BTreeMap::new();
+        let mut still_flying = Vec::with_capacity(self.in_flight.len());
+        for m in std::mem::take(&mut self.in_flight) {
+            if m.arrive_at <= now {
+                arrivals.entry(m.to).or_default().push((m.in_port, m.msg));
+            } else {
+                still_flying.push(m);
+            }
+        }
+        self.in_flight = still_flying;
+
+        for (router, mut msgs) in arrivals {
+            // Returned messages are consumed first (the FSM has additional
+            // control over processing order at its own node).
+            msgs.sort_by_key(|(_, m)| (std::cmp::Reverse(m.kind.priority()), std::cmp::Reverse(m.sender)));
+            let mut transit: Vec<(Direction, SpecialMsg)> = Vec::new();
+            for (in_port, msg) in msgs {
+                if msg.sender == router {
+                    self.consume_returned(core, router, in_port, msg);
+                } else {
+                    transit.push((in_port, msg));
+                }
+            }
+            // Evaluate transit messages against pre-state, pick one winner
+            // per output port, then apply sequentially with re-validation.
+            let mut per_out: [Option<(Direction, SpecialMsg, SpecialMsg)>; 4] =
+                [None, None, None, None];
+            for (in_port, msg) in &transit {
+                for action in self.evaluate_transit(core, router, *in_port, msg) {
+                    let Action::Forward { out, msg: fwd } = action else {
+                        continue;
+                    };
+                    let slot = &mut per_out[out.index()];
+                    let replace = match slot {
+                        None => true,
+                        Some((_, cur_orig, _)) => {
+                            beats(&fwd, cur_orig, &self.prot[router.index()])
+                        }
+                    };
+                    if replace {
+                        if slot.is_some() {
+                            DBG_CONFLICT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        *slot = Some((*in_port, msg.clone(), fwd));
+                    } else {
+                        DBG_CONFLICT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }
+            for (out_idx, slot) in per_out.into_iter().enumerate() {
+                let Some((in_port, orig, fwd)) = slot else {
+                    continue;
+                };
+                let out = Direction::from_index(out_idx);
+                // Re-validate against current state (an earlier output's
+                // disable may have set is_deadlock this cycle).
+                let still_ok = self
+                    .evaluate_transit(core, router, in_port, &orig)
+                    .iter()
+                    .any(|a| matches!(a, Action::Forward { out: o, .. } if *o == out));
+                if still_ok && core.topology().link_alive(router, out) {
+                    self.apply_transit(core.time(), router, in_port, out, &fwd);
+                    self.send(core, router, out, fwd);
+                }
+            }
+        }
+
+        // 2. Tick every FSM.
+        let nodes: Vec<NodeId> = self.fsms.keys().copied().collect();
+        for n in nodes {
+            self.tick_fsm(core, n);
+        }
+    }
+
+    fn allow_grant(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        input: InputRef,
+        out: OutPort,
+        _pkt: &sb_sim::Packet,
+    ) -> bool {
+        let prot = &self.prot[router.index()];
+        if !prot.is_deadlock {
+            return true;
+        }
+        let Some((chain_in, chain_out)) = prot.io else {
+            return true;
+        };
+        if out != OutPort::Dir(chain_out) {
+            return true;
+        }
+        // Only the frozen chain's input port (or the bubble attached to it)
+        // may inject into the protected output.
+        match input {
+            InputRef::Vc(v) => v.port == chain_in,
+            InputRef::Bubble(b) => core
+                .bubble(b)
+                .and_then(|s| s.attach)
+                .is_some_and(|(p, _)| p == chain_in),
+            InputRef::Inject { .. } => false,
+        }
+    }
+
+    fn pick_slot(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        port: Direction,
+        pkt: &sb_sim::Packet,
+    ) -> Option<SlotRef> {
+        if let Some(vc) = core.first_free_regular_vc(router, port, pkt.vnet) {
+            return Some(SlotRef::Regular(vc));
+        }
+        core.bubble_available(router, port, pkt.vnet)
+            .then_some(SlotRef::Bubble)
+    }
+
+    fn on_bubble_freed(&mut self, core: &mut NetCore, router: NodeId) {
+        let Some(fsm) = self.fsms.get_mut(&router) else {
+            return;
+        };
+        if fsm.state != FsmState::SSbActive {
+            return;
+        }
+        // Step 14-16: reclaim the bubble, switch it off, send a check-probe
+        // along the latched path to see if the chain is still deadlocked
+        // (or, with the fast path ablated, go straight to the enable).
+        core.bubble_deactivate(router);
+        let kind = if self.opts.check_probe {
+            fsm.state = FsmState::SCheckProbe;
+            MsgKind::CheckProbe
+        } else {
+            fsm.state = FsmState::SEnable;
+            MsgKind::Enable
+        };
+        fsm.restart_counter();
+        let m = SpecialMsg::with_path(kind, router, fsm.probe_vnet, fsm.turn_buffer.clone());
+        let out = fsm.probe_out;
+        self.send(core, router, out, m);
+    }
+}
+
+/// Temporary debug counters for probe drop reasons.
+pub static DBG_LOWER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// not-all-occupied drops
+pub static DBG_NOTOCC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// conflict drops
+pub static DBG_CONFLICT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// capacity drops
+pub static DBG_CAP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// live tracing toggle
+pub static DBG_TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+/// disable dropped: at in-recovery SB node
+pub static DBG_D_RECOV: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// disable dropped: router already frozen
+pub static DBG_D_FROZEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// disable dropped: dependence validation failed
+pub static DBG_D_VALID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// probe returns
+pub static DBG_RETURN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// probe latches
+pub static DBG_LATCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// disable returns that failed validation
+pub static DBG_DISFAIL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Does `a` beat `b` for the same output port? Priority first; a
+/// disable/enable collision is resolved by the local `is_deadlock` bit;
+/// otherwise higher sender id wins.
+fn beats(a: &SpecialMsg, b: &SpecialMsg, prot: &ProtState) -> bool {
+    use std::cmp::Ordering;
+    match a.kind.priority().cmp(&b.kind.priority()) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => {
+            match (a.kind, b.kind) {
+                (MsgKind::Enable, MsgKind::Disable) => prot.is_deadlock,
+                (MsgKind::Disable, MsgKind::Enable) => !prot.is_deadlock,
+                _ => a.sender > b.sender,
+            }
+        }
+    }
+}
+
+// Keep DIRECTIONS referenced for readers of this module (and future use in
+// per-port iteration).
+const _: [Direction; 4] = DIRECTIONS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_sim::{NoTraffic, SimConfig, Simulator};
+    use sb_topology::Mesh;
+
+    fn msg(kind: MsgKind, sender: u16) -> SpecialMsg {
+        SpecialMsg {
+            kind,
+            sender: NodeId(sender),
+            vnet: 0,
+            turns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn output_conflicts_follow_section_iv_c() {
+        let free = ProtState::default();
+        let frozen = ProtState {
+            is_deadlock: true,
+            ..ProtState::default()
+        };
+        // Priority classes.
+        assert!(beats(&msg(MsgKind::CheckProbe, 1), &msg(MsgKind::Disable, 9), &free));
+        assert!(beats(&msg(MsgKind::Disable, 1), &msg(MsgKind::Probe, 9), &free));
+        // Same kind: higher sender wins.
+        assert!(beats(&msg(MsgKind::Probe, 9), &msg(MsgKind::Probe, 3), &free));
+        assert!(!beats(&msg(MsgKind::Probe, 3), &msg(MsgKind::Probe, 9), &free));
+        // Disable vs enable resolved by the local is_deadlock bit.
+        assert!(beats(&msg(MsgKind::Enable, 1), &msg(MsgKind::Disable, 9), &frozen));
+        assert!(!beats(&msg(MsgKind::Enable, 1), &msg(MsgKind::Disable, 9), &free));
+        assert!(beats(&msg(MsgKind::Disable, 1), &msg(MsgKind::Enable, 9), &free));
+    }
+
+    #[test]
+    fn default_options_enable_everything() {
+        let opts = SbOptions::default();
+        assert!(opts.forking);
+        assert!(opts.check_probe);
+    }
+
+    #[test]
+    fn plugin_installs_an_fsm_per_placement_node() {
+        let mesh = Mesh::new(8, 8);
+        let plugin = StaticBubblePlugin::new(mesh, 34);
+        for n in placement::placement(mesh) {
+            assert!(plugin.fsm(n).is_some());
+        }
+        assert!(plugin.fsm(NodeId(0)).is_none());
+        assert_eq!(plugin.frozen_routers(), 0);
+        assert_eq!(plugin.in_flight_messages(), 0);
+    }
+
+    #[test]
+    fn custom_bubble_sets_are_honoured() {
+        let mesh = Mesh::new(4, 4);
+        let nodes = [NodeId(5), NodeId(10)];
+        let plugin =
+            StaticBubblePlugin::with_bubble_nodes(mesh, 8, SbOptions::default(), &nodes);
+        assert!(plugin.fsm(NodeId(5)).is_some());
+        assert!(plugin.fsm(NodeId(10)).is_some());
+        assert!(plugin.fsm(NodeId(6)).is_none());
+    }
+
+    #[test]
+    fn idle_network_sends_no_messages() {
+        let mesh = Mesh::new(8, 8);
+        let topo = sb_topology::Topology::full(mesh);
+        let bubbles = placement::placement(mesh);
+        let mut sim = Simulator::with_bubbles(
+            &topo,
+            SimConfig::single_vnet(),
+            Box::new(sb_routing::MinimalRouting::new(&topo)),
+            StaticBubblePlugin::new(mesh, 5),
+            NoTraffic,
+            0,
+            &bubbles,
+        );
+        sim.run(500);
+        let s = sim.core().stats();
+        assert_eq!(s.probes_sent, 0, "FSMs stay in SOff with empty VCs");
+        assert_eq!(sim.plugin().in_flight_messages(), 0);
+        for b in &bubbles {
+            assert_eq!(sim.plugin().fsm(*b).unwrap().state, FsmState::SOff);
+        }
+    }
+}

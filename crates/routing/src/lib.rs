@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Routing over irregular on-chip topologies (system **S2**, see `DESIGN.md`).
+//!
+//! The paper's designs all use *source routing*: a table at every network
+//! interface populates each packet with a full route to its destination
+//! (Section II-D). This crate provides the three route generators used across
+//! the evaluation:
+//!
+//! * [`MinimalRouting`] — shortest paths over the surviving graph with random
+//!   tie-breaking among minimal next hops. Deadlock-*prone*; used by Static
+//!   Bubble and by the regular VCs of the escape-VC baseline.
+//! * [`UpDownRouting`] — Autonet-style up*/down* routes over a BFS spanning
+//!   tree, deadlock-free by construction. Used by the spanning-tree avoidance
+//!   baseline and as the escape path of the escape-VC baseline.
+//! * [`XyRouting`] — classic dimension-ordered routing, valid only on the
+//!   fault-free mesh (kept as a reference and for sanity tests).
+//!
+//! The [`cdg`] module builds channel-dependency graphs so tests can *prove*
+//! acyclicity of up-down/XY route sets and exhibit cycles under minimal
+//! routing.
+
+pub mod cdg;
+pub mod minimal;
+pub mod route;
+pub mod tree;
+pub mod updown;
+pub mod xy;
+
+pub use cdg::ChannelDependencyGraph;
+pub use minimal::MinimalRouting;
+pub use route::{Route, RouteSource};
+pub use tree::TreeOnlyRouting;
+pub use updown::{RootPolicy, UpDownRouting};
+pub use xy::XyRouting;

@@ -1,0 +1,172 @@
+//! Source routes: the hop-by-hop port sequence a packet carries.
+
+
+use sb_topology::{Direction, NodeId, Topology, Turn};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source route: the sequence of output directions from the source router
+/// to the destination router (ejection at the end is implicit).
+///
+/// An empty route means source == destination (pure local ejection).
+///
+/// ```
+/// use sb_routing::Route;
+/// use sb_topology::{Direction, Mesh, Topology};
+/// let mesh = Mesh::new(4, 4);
+/// let topo = Topology::full(mesh);
+/// let route = Route::new(vec![Direction::East, Direction::North]);
+/// assert_eq!(route.hops(), 2);
+/// assert_eq!(route.trace(&topo, mesh.node_at(0, 0)), Some(mesh.node_at(1, 1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Route {
+    hops: Vec<Direction>,
+}
+
+impl Route {
+    /// Create a route from a hop sequence.
+    pub fn new(hops: Vec<Direction>) -> Self {
+        Route { hops }
+    }
+
+    /// Number of router-to-router hops.
+    pub fn hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The output direction at hop `i` (0 = at the source router).
+    pub fn hop(&self, i: usize) -> Option<Direction> {
+        self.hops.get(i).copied()
+    }
+
+    /// The hop sequence.
+    pub fn directions(&self) -> &[Direction] {
+        &self.hops
+    }
+
+    /// Walk the route from `src` over `topo`, returning the final router, or
+    /// `None` if any hop uses a dead link.
+    pub fn trace(&self, topo: &Topology, src: NodeId) -> Option<NodeId> {
+        let mut cur = src;
+        if !topo.router_alive(cur) {
+            return None;
+        }
+        for &d in &self.hops {
+            if !topo.link_alive(cur, d) {
+                return None;
+            }
+            cur = topo.mesh().neighbor(cur, d).expect("alive link");
+        }
+        Some(cur)
+    }
+
+    /// Does the route contain a (forbidden) u-turn?
+    pub fn has_u_turn(&self) -> bool {
+        self.hops
+            .windows(2)
+            .any(|w| Turn::between(w[0], w[1]).is_none())
+    }
+
+    /// The routers visited, including `src` and the destination.
+    pub fn waypoints(&self, topo: &Topology, src: NodeId) -> Option<Vec<NodeId>> {
+        let mesh = topo.mesh();
+        let mut cur = src;
+        let mut out = Vec::with_capacity(self.hops.len() + 1);
+        out.push(cur);
+        for &d in &self.hops {
+            if !topo.link_alive(cur, d) {
+                return None;
+            }
+            cur = mesh.neighbor(cur, d).expect("alive link");
+            out.push(cur);
+        }
+        Some(out)
+    }
+}
+
+impl FromIterator<Direction> for Route {
+    fn from_iter<T: IntoIterator<Item = Direction>>(iter: T) -> Self {
+        Route::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hops.is_empty() {
+            return write!(f, "·");
+        }
+        for d in &self.hops {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A source of routes: given `(src, dst)` produce the route a packet is
+/// stamped with at its network interface.
+///
+/// Implementations may be randomized (minimal routing picks uniformly among
+/// shortest paths), hence the `&mut dyn RngCore`. The trait is object-safe so
+/// simulators can hold a `Box<dyn RouteSource>`.
+pub trait RouteSource {
+    /// Compute a route from `src` to `dst`, or `None` if unreachable under
+    /// this routing function.
+    fn route(&self, src: NodeId, dst: NodeId, rng: &mut dyn rand::RngCore) -> Option<Route>;
+
+    /// Hop count of the route this source would produce, when deterministic
+    /// (`None` if unreachable). Default: computes a route with a fixed seed.
+    fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        self.route(src, dst, &mut rng).map(|r| r.hops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_topology::Mesh;
+
+    #[test]
+    fn trace_dead_link_fails() {
+        let mesh = Mesh::new(3, 3);
+        let mut topo = Topology::full(mesh);
+        topo.remove_link(mesh.node_at(0, 0), Direction::East);
+        let route = Route::new(vec![Direction::East]);
+        assert_eq!(route.trace(&topo, mesh.node_at(0, 0)), None);
+        assert_eq!(route.waypoints(&topo, mesh.node_at(0, 0)), None);
+    }
+
+    #[test]
+    fn empty_route_stays_put() {
+        let mesh = Mesh::new(3, 3);
+        let topo = Topology::full(mesh);
+        let route = Route::default();
+        assert_eq!(route.trace(&topo, mesh.node_at(1, 1)), Some(mesh.node_at(1, 1)));
+        assert_eq!(route.to_string(), "·");
+    }
+
+    #[test]
+    fn u_turn_detection() {
+        assert!(Route::new(vec![Direction::East, Direction::West]).has_u_turn());
+        assert!(!Route::new(vec![Direction::East, Direction::North]).has_u_turn());
+    }
+
+    #[test]
+    fn waypoints_include_endpoints() {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::full(mesh);
+        let route = Route::new(vec![Direction::North, Direction::North, Direction::East]);
+        let wps = route.waypoints(&topo, mesh.node_at(0, 0)).unwrap();
+        assert_eq!(wps.len(), 4);
+        assert_eq!(wps[0], mesh.node_at(0, 0));
+        assert_eq!(wps[3], mesh.node_at(1, 2));
+    }
+
+    #[test]
+    fn display_concatenates_directions() {
+        let route: Route = [Direction::East, Direction::South].into_iter().collect();
+        assert_eq!(route.to_string(), "ES");
+    }
+}

@@ -1,0 +1,198 @@
+//! Tree-only spanning-tree routing: packets traverse spanning-tree links
+//! exclusively, up to the lowest common ancestor and down to the
+//! destination ("routed via the root", Fig. 1 of the paper).
+//!
+//! This is the conservative end of the spanning-tree design space: trivially
+//! deadlock-free (the tree has no cycles at all) but with the worst
+//! stretch. Up*/down* routing ([`crate::UpDownRouting`]) is the liberal
+//! end: all links usable, only down→up turns forbidden. The paper's
+//! baseline descriptions mix both ("up-down routing" vs "routed via the
+//! root"); this crate provides the two extremes so experiments can report
+//! either.
+
+use crate::route::{Route, RouteSource};
+use crate::updown::RootPolicy;
+use sb_topology::{connected_components, ComponentMap, Direction, NodeId, Topology};
+
+/// Unique-path routing over a BFS spanning tree.
+#[derive(Debug, Clone)]
+pub struct TreeOnlyRouting {
+    topo: Topology,
+    components: ComponentMap,
+    /// BFS parent of each node (`None` for roots and dead routers).
+    parent: Vec<Option<NodeId>>,
+    /// BFS depth from the component root.
+    depth: Vec<Option<u32>>,
+}
+
+impl TreeOnlyRouting {
+    /// Build BFS trees with the default Ariadne-style arbitrary roots.
+    pub fn new(topo: &Topology) -> Self {
+        Self::with_root_policy(topo, RootPolicy::default())
+    }
+
+    /// Build with an explicit root policy.
+    pub fn with_root_policy(topo: &Topology, policy: RootPolicy) -> Self {
+        let components = connected_components(topo);
+        let n = topo.mesh().node_count();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut depth: Vec<Option<u32>> = vec![None; n];
+        for c in 0..components.count() {
+            let root = match policy {
+                RootPolicy::Center => topo
+                    .center_of_component(&components, c)
+                    .expect("non-empty component"),
+                RootPolicy::Arbitrary => {
+                    components.members(c).next().expect("non-empty component")
+                }
+            };
+            // BFS assigning parents.
+            depth[root.index()] = Some(0);
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(u) = queue.pop_front() {
+                let du = depth[u.index()].expect("queued has depth");
+                for (_, v) in topo.neighbors(u) {
+                    if depth[v.index()].is_none() {
+                        depth[v.index()] = Some(du + 1);
+                        parent[v.index()] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        TreeOnlyRouting {
+            topo: topo.clone(),
+            components,
+            parent,
+            depth,
+        }
+    }
+
+    /// The tree path from `node` up to the root, inclusive.
+    fn path_to_root(&self, mut node: NodeId) -> Vec<NodeId> {
+        let mut path = vec![node];
+        while let Some(p) = self.parent[node.index()] {
+            path.push(p);
+            node = p;
+        }
+        path
+    }
+
+    /// Tree depth of `node`.
+    pub fn depth(&self, node: NodeId) -> Option<u32> {
+        self.depth[node.index()]
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl RouteSource for TreeOnlyRouting {
+    /// The unique tree path src → LCA → dst. Deterministic.
+    fn route(&self, src: NodeId, dst: NodeId, _rng: &mut dyn rand::RngCore) -> Option<Route> {
+        if self.components.component_of(src)? != self.components.component_of(dst)? {
+            return None;
+        }
+        if src == dst {
+            return Some(Route::default());
+        }
+        let up = self.path_to_root(src);
+        let down = self.path_to_root(dst);
+        // Find the LCA: deepest common node.
+        let down_set: std::collections::HashMap<NodeId, usize> =
+            down.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let (lca_up_idx, lca_down_idx) = up
+            .iter()
+            .enumerate()
+            .find_map(|(i, n)| down_set.get(n).map(|&j| (i, j)))
+            .expect("same component shares the root");
+        let mesh = self.topo.mesh();
+        let mut hops: Vec<Direction> = Vec::with_capacity(lca_up_idx + lca_down_idx);
+        for w in up[..=lca_up_idx].windows(2) {
+            hops.push(mesh.direction_between(w[0], w[1]).expect("tree edge"));
+        }
+        for i in (0..lca_down_idx).rev() {
+            hops.push(
+                mesh.direction_between(down[i + 1], down[i])
+                    .expect("tree edge"),
+            );
+        }
+        Some(Route::new(hops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinimalRouting;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sb_topology::{FaultKind, FaultModel, Mesh};
+
+    #[test]
+    fn routes_reach_and_stay_on_tree() {
+        let mesh = Mesh::new(6, 6);
+        let mut trng = StdRng::seed_from_u64(5);
+        let topo = FaultModel::new(FaultKind::Links, 10).inject(mesh, &mut trng);
+        let tree = TreeOnlyRouting::new(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        for a in topo.alive_nodes() {
+            for b in topo.alive_nodes() {
+                match tree.route(a, b, &mut rng) {
+                    Some(r) => {
+                        assert_eq!(r.trace(&topo, a), Some(b));
+                        // Every hop must be a tree (parent) edge.
+                        let wps = r.waypoints(&topo, a).unwrap();
+                        for w in wps.windows(2) {
+                            let tree_edge = tree.parent[w[0].index()] == Some(w[1])
+                                || tree.parent[w[1].index()] == Some(w[0]);
+                            assert!(tree_edge, "{} -> {} is not a tree edge", w[0], w[1]);
+                        }
+                    }
+                    None => assert!(!topo.reachable(a, b)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_paths_stretch_far_beyond_minimal() {
+        // The Fig. 1 motivation: neighbours can be many tree-hops apart.
+        let mesh = Mesh::new(8, 8);
+        let topo = sb_topology::Topology::full(mesh);
+        let tree = TreeOnlyRouting::new(&topo);
+        let minimal = MinimalRouting::new(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut worst = 0.0f64;
+        let mut total_tree = 0usize;
+        let mut total_min = 0u32;
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                if a == b {
+                    continue;
+                }
+                let t = tree.route(a, b, &mut rng).unwrap().hops();
+                let m = minimal.distance(a, b).unwrap();
+                total_tree += t;
+                total_min += m;
+                worst = worst.max(t as f64 / m as f64);
+            }
+        }
+        let avg_stretch = total_tree as f64 / total_min as f64;
+        assert!(avg_stretch > 1.3, "avg stretch {avg_stretch}");
+        assert!(worst >= 5.0, "worst stretch {worst}");
+    }
+
+    #[test]
+    fn tree_cdg_is_acyclic() {
+        let mesh = Mesh::new(5, 5);
+        let mut trng = StdRng::seed_from_u64(2);
+        let topo = FaultModel::new(FaultKind::Links, 6).inject(mesh, &mut trng);
+        let tree = TreeOnlyRouting::new(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cdg = crate::ChannelDependencyGraph::from_route_source(&topo, &tree, 1, &mut rng);
+        assert!(cdg.is_acyclic());
+    }
+}

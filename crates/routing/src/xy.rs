@@ -1,0 +1,131 @@
+//! Dimension-ordered XY routing — the classic deadlock-avoidance scheme for
+//! *regular* meshes (Section II-A).
+//!
+//! XY is kept as a reference point: it is deadlock-free on the fault-free
+//! mesh but cannot route around irregularity, which is the paper's starting
+//! observation.
+
+use crate::route::{Route, RouteSource};
+
+use sb_topology::{Direction, NodeId, Topology};
+
+/// XY (X-first, then Y) dimension-ordered routing.
+///
+/// Routes fail (`None`) if any required link is dead — XY has no ability to
+/// detour, which is exactly why irregular topologies need something else.
+///
+/// ```
+/// use sb_routing::{RouteSource, XyRouting};
+/// use sb_topology::{Mesh, Topology};
+/// use rand::SeedableRng;
+/// let mesh = Mesh::new(4, 4);
+/// let xy = XyRouting::new(&Topology::full(mesh));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let r = xy.route(mesh.node_at(0, 0), mesh.node_at(2, 3), &mut rng).unwrap();
+/// assert_eq!(r.to_string(), "EENNN");
+/// ```
+#[derive(Debug, Clone)]
+pub struct XyRouting {
+    topo: Topology,
+}
+
+impl XyRouting {
+    /// XY routing over `topo` (route queries check link liveness).
+    pub fn new(topo: &Topology) -> Self {
+        XyRouting { topo: topo.clone() }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl RouteSource for XyRouting {
+    fn route(&self, src: NodeId, dst: NodeId, _rng: &mut dyn rand::RngCore) -> Option<Route> {
+        let mesh = self.topo.mesh();
+        if !self.topo.router_alive(src) || !self.topo.router_alive(dst) {
+            return None;
+        }
+        let (a, b) = (mesh.coord(src), mesh.coord(dst));
+        let mut hops = Vec::with_capacity((a.manhattan(b)) as usize);
+        let x_dir = if b.x > a.x {
+            Some(Direction::East)
+        } else if b.x < a.x {
+            Some(Direction::West)
+        } else {
+            None
+        };
+        let y_dir = if b.y > a.y {
+            Some(Direction::North)
+        } else if b.y < a.y {
+            Some(Direction::South)
+        } else {
+            None
+        };
+        if let Some(d) = x_dir {
+            for _ in 0..a.x.abs_diff(b.x) {
+                hops.push(d);
+            }
+        }
+        if let Some(d) = y_dir {
+            for _ in 0..a.y.abs_diff(b.y) {
+                hops.push(d);
+            }
+        }
+        let route = Route::new(hops);
+        // XY cannot detour: the fixed path must be fully alive.
+        (route.trace(&self.topo, src) == Some(dst)).then_some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sb_topology::Mesh;
+
+    #[test]
+    fn xy_route_is_minimal_on_full_mesh() {
+        let mesh = Mesh::new(8, 8);
+        let xy = XyRouting::new(&Topology::full(mesh));
+        let mut rng = StdRng::seed_from_u64(0);
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                let r = xy.route(a, b, &mut rng).unwrap();
+                assert_eq!(r.hops() as u32, mesh.manhattan(a, b));
+                assert!(!r.has_u_turn());
+            }
+        }
+    }
+
+    #[test]
+    fn xy_never_turns_north_south_to_east_west() {
+        let mesh = Mesh::new(8, 8);
+        let xy = XyRouting::new(&Topology::full(mesh));
+        let mut rng = StdRng::seed_from_u64(0);
+        for (a, b) in [(0u16, 63u16), (7, 56), (20, 43)] {
+            let r = xy.route(NodeId(a), NodeId(b), &mut rng).unwrap();
+            let dirs = r.directions();
+            for w in dirs.windows(2) {
+                let y_to_x = matches!(w[0], Direction::North | Direction::South)
+                    && matches!(w[1], Direction::East | Direction::West);
+                assert!(!y_to_x, "illegal YX turn in {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn xy_fails_on_broken_path() {
+        let mesh = Mesh::new(4, 4);
+        let mut topo = Topology::full(mesh);
+        topo.remove_link(mesh.node_at(1, 0), Direction::East);
+        let xy = XyRouting::new(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        // (0,0) -> (3,0) must go straight east through the dead link.
+        assert_eq!(xy.route(mesh.node_at(0, 0), mesh.node_at(3, 0), &mut rng), None);
+        // But an unaffected pair still routes.
+        assert!(xy.route(mesh.node_at(0, 1), mesh.node_at(3, 1), &mut rng).is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Simulator configuration (Table II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Network configuration.
+///
+/// Defaults follow Table II: 3 virtual networks with 4 VCs per vnet per
+/// port, 5-flit data packets and 1-flit control packets, 1-cycle routers and
+/// 1-cycle links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of virtual networks (message classes). Packets never change
+    /// vnet, so buffer-dependency cycles are confined to one vnet.
+    pub vnets: u8,
+    /// VCs per vnet per input port.
+    pub vcs_per_vnet: u8,
+    /// Depth of each VC in flits = maximum packet length (virtual
+    /// cut-through: a VC holds one whole packet).
+    pub max_packet_flits: u16,
+}
+
+impl SimConfig {
+    /// Total VCs per input port (`vnets × vcs_per_vnet`).
+    pub fn vcs_per_port(&self) -> usize {
+        self.vnets as usize * self.vcs_per_vnet as usize
+    }
+
+    /// The vnet of flat VC index `vc`.
+    pub fn vnet_of(&self, vc: u8) -> u8 {
+        vc / self.vcs_per_vnet
+    }
+
+    /// The flat VC indices belonging to `vnet`.
+    pub fn vcs_of_vnet(&self, vnet: u8) -> std::ops::Range<u8> {
+        let lo = vnet * self.vcs_per_vnet;
+        lo..lo + self.vcs_per_vnet
+    }
+
+    /// A small configuration (1 vnet, 1 VC) that makes deadlocks easy to
+    /// construct in tests and walk-through examples.
+    pub fn tiny() -> Self {
+        SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 1,
+            max_packet_flits: 5,
+        }
+    }
+
+    /// A single-vnet configuration with the paper's VC count, used by the
+    /// synthetic sweeps where all traffic is one message class.
+    pub fn single_vnet() -> Self {
+        SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 4,
+            max_packet_flits: 5,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    /// Table II: 3 vnets, 4 VCs per vnet per port, 5-flit packets.
+    fn default() -> Self {
+        SimConfig {
+            vnets: 3,
+            vcs_per_vnet: 4,
+            max_packet_flits: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_ii() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.vnets, 3);
+        assert_eq!(cfg.vcs_per_vnet, 4);
+        assert_eq!(cfg.vcs_per_port(), 12);
+    }
+
+    #[test]
+    fn vnet_of_flat_index() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.vnet_of(0), 0);
+        assert_eq!(cfg.vnet_of(3), 0);
+        assert_eq!(cfg.vnet_of(4), 1);
+        assert_eq!(cfg.vnet_of(11), 2);
+        assert_eq!(cfg.vcs_of_vnet(1), 4..8);
+    }
+
+    #[test]
+    fn tiny_config() {
+        assert_eq!(SimConfig::tiny().vcs_per_port(), 1);
+    }
+}

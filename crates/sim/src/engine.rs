@@ -1,0 +1,619 @@
+//! The simulation engine: injection, switch allocation, movement, delivery.
+
+use crate::config::SimConfig;
+use crate::deadlock;
+use crate::netcore::{MoveEvent, NetCore, EJECT};
+use crate::packet::{Packet, PacketMode};
+use crate::plugin::{InputRef, OutPort, Plugin, SlotRef};
+use crate::traffic::TrafficSource;
+use crate::vc::{OccVc, VcRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sb_routing::{Route, RouteSource};
+use sb_topology::{Direction, NodeId, Topology};
+
+/// Router + link pipeline depth: a granted head is switchable at the next
+/// router after 2 cycles (1-cycle router, 1-cycle link — Table II).
+pub const HOP_LATENCY: u64 = 2;
+
+/// A complete simulation: network state, deadlock-handling plugin, traffic
+/// source and route planner.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Simulator<P: Plugin, T: TrafficSource> {
+    core: NetCore,
+    plugin: P,
+    traffic: T,
+    planner: Box<dyn RouteSource>,
+    rng: StdRng,
+}
+
+/// Per-cycle, per-router grant bookkeeping (one grant per input port).
+#[derive(Default)]
+struct Granted {
+    ports: [bool; 4],
+    bubble: bool,
+    local: bool,
+}
+
+impl Granted {
+    fn taken(&self, input: InputRef) -> bool {
+        match input {
+            InputRef::Vc(v) => self.ports[v.port.index()],
+            InputRef::Bubble(_) => self.bubble,
+            InputRef::Inject { .. } => self.local,
+        }
+    }
+
+    fn take(&mut self, input: InputRef) {
+        match input {
+            InputRef::Vc(v) => self.ports[v.port.index()] = true,
+            InputRef::Bubble(_) => self.bubble = true,
+            InputRef::Inject { .. } => self.local = true,
+        }
+    }
+}
+
+impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
+    /// Build a simulator over `topo`.
+    ///
+    /// `bubble_routers` of the attached plugin are configured through
+    /// [`Simulator::with_bubbles`]; the plain constructor creates none.
+    pub fn new(
+        topo: &Topology,
+        cfg: SimConfig,
+        planner: Box<dyn RouteSource>,
+        plugin: P,
+        traffic: T,
+        seed: u64,
+    ) -> Self {
+        Self::with_bubbles(topo, cfg, planner, plugin, traffic, seed, &[])
+    }
+
+    /// Build a simulator whose routers in `bubble_routers` carry a
+    /// static-bubble buffer (used by the Static Bubble plugin).
+    pub fn with_bubbles(
+        topo: &Topology,
+        cfg: SimConfig,
+        planner: Box<dyn RouteSource>,
+        plugin: P,
+        traffic: T,
+        seed: u64,
+        bubble_routers: &[NodeId],
+    ) -> Self {
+        Simulator {
+            core: NetCore::new(topo, cfg, bubble_routers),
+            plugin,
+            traffic,
+            planner,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The network state.
+    pub fn core(&self) -> &NetCore {
+        &self.core
+    }
+
+    /// Mutable network state (tests construct scenarios through this).
+    pub fn core_mut(&mut self) -> &mut NetCore {
+        &mut self.core
+    }
+
+    /// The attached plugin.
+    pub fn plugin(&self) -> &P {
+        &self.plugin
+    }
+
+    /// Mutable plugin access.
+    pub fn plugin_mut(&mut self) -> &mut P {
+        &mut self.plugin
+    }
+
+    /// The traffic source.
+    pub fn traffic(&self) -> &T {
+        &self.traffic
+    }
+
+    /// Current cycle.
+    pub fn time(&self) -> u64 {
+        self.core.time()
+    }
+
+    /// Swap the traffic source, keeping all network and plugin state (e.g.
+    /// stop traffic with [`crate::NoTraffic`] to measure drain behaviour).
+    pub fn replace_traffic<U: TrafficSource>(self, traffic: U) -> Simulator<P, U> {
+        Simulator {
+            core: self.core,
+            plugin: self.plugin,
+            traffic,
+            planner: self.planner,
+            rng: self.rng,
+        }
+    }
+
+    /// Swap the attached plugin, keeping all network state. Needed when a
+    /// reconfiguration invalidates a plugin's internal tables (the
+    /// escape-VC baseline holds a spanning tree of the *old* topology; the
+    /// Static Bubble plugin holds only design-time state and never needs
+    /// this — which is the paper's "plug-and-play" argument).
+    pub fn replace_plugin<Q: Plugin>(self, plugin: Q) -> Simulator<Q, T> {
+        Simulator {
+            core: self.core,
+            plugin,
+            traffic: self.traffic,
+            planner: self.planner,
+            rng: self.rng,
+        }
+    }
+
+    /// Runtime reconfiguration: switch to a new topology (same mesh, e.g.
+    /// after a fault or a power-gating decision) and a new route planner.
+    ///
+    /// In-flight packets at dead routers are lost; survivors whose remaining
+    /// route crosses a dead component are re-routed from their current
+    /// router (or lost if unreachable); queued packets are re-routed from
+    /// their source. Losses are counted in [`crate::Stats::lost_packets`], drops in
+    /// [`crate::Stats::dropped_packets`] — the accounting real resilient NoCs do
+    /// after a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` has a different mesh.
+    pub fn reconfigure(&mut self, topo: &Topology, planner: Box<dyn RouteSource>) {
+        self.core.set_topology(topo);
+        self.planner = planner;
+        let mesh = topo.mesh();
+        let now = self.core.time();
+        // 1. In-flight packets: VCs and bubbles.
+        for r in 0..mesh.node_count() {
+            let router = NodeId::from(r);
+            let router_dead = !topo.router_alive(router);
+            let refs: Vec<VcRef> = self.core.vc_refs(router).collect();
+            for vref in refs {
+                let Some(occ) = self.core.vc(vref).occupant() else {
+                    continue;
+                };
+                let pkt = &occ.pkt;
+                let remaining = Route::new(
+                    pkt.route().directions()[pkt.hop_index()..].to_vec(),
+                );
+                if router_dead {
+                    self.core.vc_mut(vref).take(now);
+                    *self.core.vc_mut(vref) = crate::vc::VcSlot::Free;
+                    self.core.stats_mut().lost_packets += 1;
+                } else if remaining.trace(topo, router) != Some(pkt.dst) {
+                    let dst = pkt.dst;
+                    match self.planner.route(router, dst, &mut self.rng) {
+                        Some(route) => {
+                            self.core
+                                .vc_mut(vref)
+                                .occupant_mut()
+                                .expect("checked occupied")
+                                .pkt
+                                .restamp(route, PacketMode::Normal);
+                        }
+                        None => {
+                            self.core.vc_mut(vref).take(now);
+                            *self.core.vc_mut(vref) = crate::vc::VcSlot::Free;
+                            self.core.stats_mut().lost_packets += 1;
+                        }
+                    }
+                }
+            }
+            // Bubble occupants at dead routers are lost with the router.
+            if router_dead && self.core.bubble_take_occupant(router).is_some() {
+                self.core.stats_mut().lost_packets += 1;
+            }
+        }
+        // 2. Queued packets: re-route from the source.
+        for r in 0..mesh.node_count() {
+            let router = NodeId::from(r);
+            let router_dead = !topo.router_alive(router);
+            for vnet in 0..self.core.config().vnets as usize {
+                let mut queue = std::mem::take(&mut self.core.inject[r][vnet]);
+                queue.retain_mut(|pkt| {
+                    if router_dead {
+                        self.core.stats_mut().lost_packets += 1;
+                        return false;
+                    }
+                    match self.planner.route(router, pkt.dst, &mut self.rng) {
+                        Some(route) => {
+                            pkt.restamp(route, PacketMode::Normal);
+                            true
+                        }
+                        None => {
+                            self.core.stats_mut().dropped_packets += 1;
+                            false
+                        }
+                    }
+                });
+                self.core.inject[r][vnet] = queue;
+            }
+        }
+    }
+
+    /// Run one cycle.
+    pub fn tick(&mut self) {
+        self.core.moved.clear();
+        self.plugin.before_cycle(&mut self.core);
+        self.inject_traffic();
+        self.allocate();
+        self.plugin.after_cycle(&mut self.core);
+        self.core.stats_mut().cycles += 1;
+        self.core.advance_time();
+    }
+
+    /// Run `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Run `warmup` cycles and then reset the measurement window, so
+    /// subsequent statistics exclude the cold start.
+    pub fn warmup(&mut self, warmup: u64) {
+        self.run(warmup);
+        self.core.reset_measurement();
+    }
+
+    /// Run until the network is empty (traffic exhausted, queues and VCs
+    /// drained) or `max_cycles` more cycles elapse. Returns `true` if
+    /// drained.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.traffic.exhausted() && self.core.in_flight() == 0 && self.core.queued() == 0 {
+                return true;
+            }
+            self.tick();
+        }
+        self.traffic.exhausted() && self.core.in_flight() == 0 && self.core.queued() == 0
+    }
+
+    /// Is the network deadlocked *right now* according to the oracle?
+    pub fn deadlocked_now(&self) -> bool {
+        deadlock::is_deadlocked(&self.core)
+    }
+
+    /// Run until the oracle observes a deadlock (checking every
+    /// `check_every` cycles) or `max_cycles` elapse. Returns the cycle of
+    /// detection.
+    pub fn run_until_deadlock(&mut self, max_cycles: u64, check_every: u64) -> Option<u64> {
+        let check_every = check_every.max(1);
+        let start = self.time();
+        while self.time() - start < max_cycles {
+            for _ in 0..check_every {
+                self.tick();
+            }
+            if self.deadlocked_now() {
+                return Some(self.time());
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+
+    fn inject_traffic(&mut self) {
+        let t = self.core.time();
+        let reqs = self
+            .traffic
+            .generate(t, self.core.topology(), &mut self.rng);
+        let cfg = self.core.config();
+        for mut req in reqs {
+            assert!(
+                req.len_flits >= 1 && req.len_flits <= cfg.max_packet_flits,
+                "packet length {} out of range",
+                req.len_flits
+            );
+            req.vnet = req.vnet.min(cfg.vnets - 1);
+            let stats = self.core.stats_mut();
+            stats.offered_packets += 1;
+            stats.offered_flits += req.len_flits as u64;
+            if req.src == req.dst {
+                // Local delivery without entering the network.
+                stats.delivered_packets += 1;
+                stats.delivered_flits += req.len_flits as u64;
+                stats.latency_sum += req.len_flits as u64;
+                continue;
+            }
+            match self.planner.route(req.src, req.dst, &mut self.rng) {
+                Some(route) => {
+                    debug_assert_eq!(
+                        route.trace(self.core.topology(), req.src),
+                        Some(req.dst),
+                        "planner produced an invalid route"
+                    );
+                    let id = self.core.fresh_packet_id();
+                    let pkt = Packet::new(id, req, route, t);
+                    self.core.inject[req.src.index()][req.vnet as usize].push_back(pkt);
+                }
+                None => {
+                    // Unreachable destination: dropped at the NI (Sec. V-A).
+                    self.core.stats_mut().dropped_packets += 1;
+                }
+            }
+        }
+    }
+
+    /// Separable round-robin allocation, one router at a time in id order;
+    /// grants commit immediately so downstream claims are visible to later
+    /// routers within the same cycle.
+    fn allocate(&mut self) {
+        let n = self.core.topology().mesh().node_count();
+        let mut freed_bubbles: Vec<NodeId> = Vec::new();
+        // Reused across routers to avoid per-cycle allocation churn:
+        // (rr index, input, desired output).
+        let mut candidates: Vec<(usize, InputRef, OutPort)> = Vec::with_capacity(32);
+        for r in 0..n {
+            let router = NodeId::from(r);
+            if !self.core.topology().router_alive(router) {
+                continue;
+            }
+            self.collect_candidates(router, &mut candidates);
+            if candidates.is_empty() {
+                continue;
+            }
+            let mut granted = Granted::default();
+            // Ejection first, then the four directions.
+            for out_idx in [EJECT, 0, 1, 2, 3] {
+                let out = if out_idx == EJECT {
+                    OutPort::Eject
+                } else {
+                    OutPort::Dir(Direction::from_index(out_idx))
+                };
+                if self.core.routers[r].out_busy[out_idx] > self.core.time() {
+                    continue;
+                }
+                if let OutPort::Dir(d) = out {
+                    if !self.core.topology().link_alive(router, d) {
+                        continue;
+                    }
+                }
+                let Some((winner_idx, input, slot)) =
+                    self.find_winner(router, out, &granted, &candidates)
+                else {
+                    continue;
+                };
+                granted.take(input);
+                self.core.routers[r].rr[out_idx] = winner_idx as u32 + 1;
+                if let Some(freed) = self.commit(router, input, out, slot) {
+                    freed_bubbles.push(freed);
+                }
+                // The committed packet is gone; drop it from the list so a
+                // later output port cannot re-select it.
+                candidates.retain(|&(i, _, _)| i != winner_idx);
+            }
+        }
+        for node in freed_bubbles {
+            self.plugin.on_bubble_freed(&mut self.core, node);
+        }
+    }
+
+    /// Gather all switchable head packets of `router` with their desired
+    /// outputs, tagged with their round-robin index.
+    fn collect_candidates(&self, router: NodeId, out: &mut Vec<(usize, InputRef, OutPort)>) {
+        out.clear();
+        let core = &self.core;
+        let cfg: SimConfig = core.config();
+        let vcs = cfg.vcs_per_port();
+        let t = core.time();
+        let state = &core.routers[router.index()];
+        let desired_of = |pkt: &Packet| match pkt.desired_hop() {
+            Some(d) => OutPort::Dir(d),
+            None => OutPort::Eject,
+        };
+        for port in 0..4usize {
+            for (vc, slot) in state.vcs[port].iter().enumerate() {
+                if let Some(occ) = slot.occupant() {
+                    if occ.ready_at <= t {
+                        out.push((
+                            port * vcs + vc,
+                            InputRef::Vc(VcRef {
+                                router,
+                                port: Direction::from_index(port),
+                                vc: vc as u8,
+                            }),
+                            desired_of(&occ.pkt),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(b) = &state.bubble {
+            if let Some(occ) = b.slot.occupant() {
+                if occ.ready_at <= t {
+                    out.push((4 * vcs, InputRef::Bubble(router), desired_of(&occ.pkt)));
+                }
+            }
+        }
+        for vnet in 0..cfg.vnets {
+            if let Some(pkt) = core.inject[router.index()][vnet as usize].front() {
+                out.push((
+                    4 * vcs + 1 + vnet as usize,
+                    InputRef::Inject {
+                        node: router,
+                        vnet,
+                    },
+                    desired_of(pkt),
+                ));
+            }
+        }
+    }
+
+    /// Scan the candidates of `router` wanting `out` in round-robin order
+    /// and return the first eligible `(index, input, slot)`.
+    fn find_winner(
+        &self,
+        router: NodeId,
+        out: OutPort,
+        granted: &Granted,
+        candidates: &[(usize, InputRef, OutPort)],
+    ) -> Option<(usize, InputRef, Option<SlotRef>)> {
+        let core = &self.core;
+        let cfg: SimConfig = core.config();
+        let total = 4 * cfg.vcs_per_port() + 1 + cfg.vnets as usize;
+        let out_idx = match out {
+            OutPort::Dir(d) => d.index(),
+            OutPort::Eject => EJECT,
+        };
+        let start = core.routers[router.index()].rr[out_idx] as usize % total;
+        // Round-robin order = ascending (idx - start) mod total.
+        let mut order: Vec<(usize, usize, InputRef)> = candidates
+            .iter()
+            .filter(|&&(_, input, want)| want == out && !granted.taken(input))
+            .map(|&(i, input, _)| ((i + total - start) % total, i, input))
+            .collect();
+        order.sort_unstable_by_key(|&(k, _, _)| k);
+        for (_, i, input) in order {
+            let pkt = core.packet_at(input).expect("candidate has a packet");
+            if !self.plugin.allow_grant(core, router, input, out, pkt) {
+                continue;
+            }
+            match out {
+                OutPort::Eject => return Some((i, input, None)),
+                OutPort::Dir(d) => {
+                    let neighbor = core
+                        .topology()
+                        .mesh()
+                        .neighbor(router, d)
+                        .expect("alive link has endpoint");
+                    if let Some(slot) = self.plugin.pick_slot(core, neighbor, d.opposite(), pkt) {
+                        // Validate the plugin's choice.
+                        debug_assert!(self.slot_is_free(neighbor, d.opposite(), pkt, slot));
+                        return Some((i, input, Some(slot)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn slot_is_free(&self, router: NodeId, port: Direction, pkt: &Packet, slot: SlotRef) -> bool {
+        let t = self.core.time();
+        match slot {
+            SlotRef::Regular(vc) => self
+                .core
+                .vc(VcRef { router, port, vc })
+                .is_free(t),
+            SlotRef::Bubble => self.core.bubble_available(router, port, pkt.vnet),
+        }
+    }
+
+    /// Commit a grant; returns `Some(router)` if the router's bubble was
+    /// freed by this movement.
+    fn commit(
+        &mut self,
+        router: NodeId,
+        input: InputRef,
+        out: OutPort,
+        slot: Option<SlotRef>,
+    ) -> Option<NodeId> {
+        let t = self.core.time();
+        let mut freed_bubble = None;
+        // 1. Remove the packet from its input buffer.
+        let mut pkt = match input {
+            InputRef::Vc(v) => {
+                let occ = self.core.vc_mut(v).take(t); // drain time set below
+                occ.pkt
+            }
+            InputRef::Bubble(b) => {
+                let occ = self.core.routers[b.index()]
+                    .bubble
+                    .as_mut()
+                    .expect("bubble input exists")
+                    .slot
+                    .take(t);
+                freed_bubble = Some(b);
+                occ.pkt
+            }
+            InputRef::Inject { node, vnet } => {
+                let mut p = self.core.inject[node.index()][vnet as usize]
+                    .pop_front()
+                    .expect("winner had a queued packet");
+                p.injected_at = t;
+                self.core.stats_mut().injected_packets += 1;
+                p
+            }
+        };
+        let len = pkt.len_flits as u64;
+        // Fix the drain time now that we know the length.
+        match input {
+            InputRef::Vc(v) => *self.core.vc_mut(v) = crate::vc::VcSlot::Draining { until: t + len },
+            InputRef::Bubble(b) => {
+                self.core.routers[b.index()]
+                    .bubble
+                    .as_mut()
+                    .expect("bubble input exists")
+                    .slot = crate::vc::VcSlot::Draining { until: t + len };
+            }
+            InputRef::Inject { .. } => {}
+        }
+        let vnet = pkt.vnet;
+        let id = pkt.id;
+        // 2. Deliver or forward.
+        match out {
+            OutPort::Eject => {
+                self.core.routers[router.index()].out_busy[EJECT] = t + len;
+                self.core.record_delivery(router);
+                let stats = self.core.stats_mut();
+                stats.delivered_packets += 1;
+                stats.delivered_flits += len;
+                let latency = (t + len).saturating_sub(pkt.created_at);
+                stats.latency_sum += latency;
+                stats.latency_max = stats.latency_max.max(latency);
+                stats.network_latency_sum += (t + len).saturating_sub(pkt.injected_at);
+                self.traffic.on_delivered(&pkt, t + len);
+            }
+            OutPort::Dir(d) => {
+                pkt.advance_hop();
+                let neighbor = self
+                    .core
+                    .topology()
+                    .mesh()
+                    .neighbor(router, d)
+                    .expect("alive link");
+                let occ = OccVc {
+                    pkt,
+                    ready_at: t + HOP_LATENCY,
+                };
+                match slot.expect("forward grants carry a slot") {
+                    SlotRef::Regular(vc) => {
+                        self.core
+                            .vc_mut(VcRef {
+                                router: neighbor,
+                                port: d.opposite(),
+                                vc,
+                            })
+                            .put(occ, t);
+                    }
+                    SlotRef::Bubble => {
+                        debug_assert!(self.core.bubble_available(neighbor, d.opposite(), vnet));
+                        self.core.routers[neighbor.index()]
+                            .bubble
+                            .as_mut()
+                            .expect("bubble slot exists")
+                            .slot
+                            .put(occ, t);
+                    }
+                }
+                self.core.routers[router.index()].out_busy[d.index()] = t + len;
+                let stats = self.core.stats_mut();
+                stats.data_link_flits += len;
+                stats.data_router_flits += len;
+            }
+        }
+        self.core.stats_mut().movements += 1;
+        self.core.last_movement = t;
+        self.core.moved.push(MoveEvent {
+            router,
+            input,
+            out,
+            pkt: id,
+            vnet,
+        });
+        freed_bubble
+    }
+}
+

@@ -1,0 +1,227 @@
+//! The escape-VC deadlock-recovery baseline (Section II-B, second baseline).
+//!
+//! One VC per vnet per input port is reserved as the *escape VC*. Regular
+//! packets use deadlock-prone minimal routes in the remaining VCs. A
+//! per-router timeout (the same detection threshold `t_DD` as Static Bubble)
+//! moves a stalled packet into the escape network: its route is re-stamped
+//! with a deadlock-free up*/down* spanning-tree path from its current router
+//! and from then on it may only occupy escape VCs. The escape network's
+//! channel dependencies are acyclic (up-down), so it always drains, which in
+//! turn unblocks the regular VCs.
+//!
+//! Costs modelled exactly as Table I: the reservation removes one VC per
+//! vnet per port from regular traffic at **every** router (vs. one extra
+//! buffer at 21 routers for Static Bubble), which is where the throughput
+//! gap of Fig. 9 comes from.
+
+use crate::netcore::NetCore;
+use crate::packet::{PacketId, PacketMode};
+use crate::plugin::{Plugin, SlotRef};
+use crate::vc::VcRef;
+use sb_routing::{RouteSource, UpDownRouting};
+use sb_topology::{Direction, NodeId, Topology, DIRECTIONS};
+use std::collections::HashMap;
+
+/// The escape-VC recovery plugin.
+#[derive(Debug)]
+pub struct EscapeVcPlugin {
+    updown: UpDownRouting,
+    tdd: u64,
+    stalls: HashMap<VcRef, (PacketId, u64)>,
+    escapes: u64,
+    rng: rand::rngs::StdRng,
+}
+
+impl EscapeVcPlugin {
+    /// Build the plugin for `topo` with detection threshold `tdd` (cycles a
+    /// head packet may stall before being moved to the escape network).
+    pub fn new(topo: &Topology, tdd: u64) -> Self {
+        use rand::SeedableRng;
+        EscapeVcPlugin {
+            updown: UpDownRouting::new(topo),
+            tdd: tdd.max(1),
+            stalls: HashMap::new(),
+            escapes: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(0xE5CA),
+        }
+    }
+
+    /// Number of packets that have been moved into the escape network.
+    pub fn escapes(&self) -> u64 {
+        self.escapes
+    }
+
+    /// The escape VC (flat index) of `vnet`: the last VC of the vnet's
+    /// group.
+    pub fn escape_vc(core: &NetCore, vnet: u8) -> u8 {
+        core.config().vcs_of_vnet(vnet).end - 1
+    }
+
+    /// Is flat index `vc` an escape VC under `core`'s configuration?
+    pub fn is_escape_vc(core: &NetCore, vc: u8) -> bool {
+        let cfg = core.config();
+        vc % cfg.vcs_per_vnet == cfg.vcs_per_vnet - 1
+    }
+}
+
+impl Plugin for EscapeVcPlugin {
+    fn pick_slot(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        port: Direction,
+        pkt: &crate::packet::Packet,
+    ) -> Option<SlotRef> {
+        let now = core.time();
+        let slots = core.vcs_at(router, port);
+        let escape = Self::escape_vc(core, pkt.vnet);
+        match pkt.mode {
+            PacketMode::Normal => core
+                .config()
+                .vcs_of_vnet(pkt.vnet)
+                .find(|&i| i != escape && slots[i as usize].is_free(now))
+                .map(SlotRef::Regular),
+            PacketMode::Escape => slots[escape as usize]
+                .is_free(now)
+                .then_some(SlotRef::Regular(escape)),
+        }
+    }
+
+    fn after_cycle(&mut self, core: &mut NetCore) {
+        // Advance stall counters; escalate to the escape network on timeout.
+        let refs: Vec<VcRef> = core
+            .topology()
+            .alive_nodes()
+            .flat_map(|router| {
+                let vcs = core.config().vcs_per_port() as u8;
+                DIRECTIONS
+                    .into_iter()
+                    .flat_map(move |port| (0..vcs).map(move |vc| VcRef { router, port, vc }))
+            })
+            .collect();
+        let now = core.time();
+        for r in refs {
+            let Some(occ) = core.vc(r).occupant() else {
+                self.stalls.remove(&r);
+                continue;
+            };
+            if occ.ready_at > now || occ.pkt.desired_hop().is_none() {
+                // Still arriving, or waiting only on the ejection port.
+                self.stalls.remove(&r);
+                continue;
+            }
+            let id = occ.pkt.id;
+            let entry = self.stalls.entry(r).or_insert((id, 0));
+            if entry.0 != id {
+                *entry = (id, 0);
+            }
+            entry.1 += 1;
+            if entry.1 >= self.tdd {
+                entry.1 = 0;
+                let dst = occ.pkt.dst;
+                let already_escaped = occ.pkt.mode == PacketMode::Escape;
+                if already_escaped {
+                    continue;
+                }
+                if let Some(route) = self.updown.route(r.router, dst, &mut self.rng) {
+                    core.vc_mut(r)
+                        .occupant_mut()
+                        .expect("checked occupied")
+                        .pkt
+                        .restamp(route, PacketMode::Escape);
+                    self.escapes += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Simulator;
+    use crate::packet::NewPacket;
+    use crate::traffic::{ScriptedTraffic, UniformTraffic};
+    use sb_routing::MinimalRouting;
+    use sb_topology::{Mesh, Topology};
+
+    #[test]
+    fn escape_vc_index_is_last_of_vnet() {
+        let topo = Topology::full(Mesh::new(2, 2));
+        let core = NetCore::new(&topo, SimConfig::default(), &[]);
+        assert_eq!(EscapeVcPlugin::escape_vc(&core, 0), 3);
+        assert_eq!(EscapeVcPlugin::escape_vc(&core, 2), 11);
+        assert!(EscapeVcPlugin::is_escape_vc(&core, 7));
+        assert!(!EscapeVcPlugin::is_escape_vc(&core, 6));
+    }
+
+    #[test]
+    fn normal_packets_never_occupy_escape_vcs() {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::full(mesh);
+        let mut sim = Simulator::new(
+            &topo,
+            SimConfig::single_vnet(),
+            Box::new(MinimalRouting::new(&topo)),
+            EscapeVcPlugin::new(&topo, 1_000_000),
+            UniformTraffic::new(0.1).single_vnet(),
+            7,
+        );
+        for _ in 0..500 {
+            sim.tick();
+            let core = sim.core();
+            for router in core.topology().alive_nodes() {
+                for port in DIRECTIONS {
+                    let esc = EscapeVcPlugin::escape_vc(core, 0);
+                    assert!(
+                        core.vcs_at(router, port)[esc as usize].occupant().is_none(),
+                        "escape VC occupied without any timeout"
+                    );
+                }
+            }
+        }
+        assert!(sim.core().stats().delivered_packets > 0);
+    }
+
+    #[test]
+    fn stalled_packet_escapes_and_delivers() {
+        // Single-VC-ish config: 2 VCs per vnet (1 regular + 1 escape).
+        let mesh = Mesh::new(3, 3);
+        let topo = Topology::full(mesh);
+        let cfg = SimConfig {
+            vnets: 1,
+            vcs_per_vnet: 2,
+            max_packet_flits: 5,
+        };
+        // Deterministic single packet; it cannot deadlock alone, so instead
+        // verify the escape machinery by forcing tdd = 1 so it escapes at
+        // the first stall (behind its own serialization none occurs — so
+        // drive enough traffic to create contention).
+        let script: Vec<(u64, NewPacket)> = (0..40)
+            .map(|i| {
+                (
+                    i / 4,
+                    NewPacket {
+                        src: NodeId((i % 9) as u16),
+                        dst: NodeId(((i * 5 + 3) % 9) as u16),
+                        vnet: 0,
+                        len_flits: 5,
+                    },
+                )
+            })
+            .filter(|(_, p)| p.src != p.dst)
+            .collect();
+        let n = script.len() as u64;
+        let mut sim = Simulator::new(
+            &topo,
+            cfg,
+            Box::new(MinimalRouting::new(&topo)),
+            EscapeVcPlugin::new(&topo, 2),
+            ScriptedTraffic::new(script),
+            3,
+        );
+        assert!(sim.run_until_drained(5_000));
+        assert_eq!(sim.core().stats().delivered_packets, n);
+    }
+}

@@ -1,0 +1,71 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Cycle-accurate NoC simulator (system **S3**, see `DESIGN.md`).
+//!
+//! This crate is the substrate the paper evaluates on (gem5 + Garnet in the
+//! original; built from scratch here). It models:
+//!
+//! * virtual-cut-through routers with per-port virtual channels grouped into
+//!   virtual networks (3 vnets × 4 VCs per port by default, Table II);
+//! * 1-cycle routers + 1-cycle links; packet serialization holds output
+//!   links for `len` cycles;
+//! * separable round-robin switch allocation with one grant per output port
+//!   and one per input port per cycle;
+//! * source routing: each packet is stamped with a [`sb_routing::Route`] at
+//!   injection by a pluggable [`sb_routing::RouteSource`];
+//! * a [`Plugin`] hook interface through which deadlock-handling schemes are
+//!   attached: the null plugin (spanning-tree avoidance needs no mechanism),
+//!   the [`EscapeVcPlugin`] baseline, and the Static Bubble plugin from the
+//!   `static-bubble` crate;
+//! * a deadlock *oracle* ([`deadlock`]) used by experiments to classify
+//!   network states — never by the recovery mechanisms themselves.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sb_sim::{NullPlugin, SimConfig, Simulator, UniformTraffic};
+//! use sb_routing::XyRouting;
+//! use sb_topology::{Mesh, Topology};
+//!
+//! let topo = Topology::full(Mesh::new(4, 4));
+//! let mut sim = Simulator::new(
+//!     &topo,
+//!     SimConfig::default(),
+//!     Box::new(XyRouting::new(&topo)),
+//!     NullPlugin,
+//!     UniformTraffic::new(0.05),
+//!     42,
+//! );
+//! sim.run(1_000);
+//! assert!(sim.core().stats().delivered_packets > 0);
+//! ```
+
+pub mod config;
+pub mod deadlock;
+pub mod engine;
+pub mod inspect;
+pub mod escape;
+pub mod netcore;
+pub mod packet;
+pub mod plugin;
+pub mod stats;
+pub mod trace;
+pub mod traffic;
+pub mod vc;
+
+pub use config::SimConfig;
+pub use deadlock::{find_deadlock, find_dependency_cycle, is_deadlocked};
+pub use engine::Simulator;
+pub use escape::EscapeVcPlugin;
+pub use inspect::Snapshot;
+pub use netcore::{BubbleState, MoveEvent, NetCore};
+pub use packet::{NewPacket, Packet, PacketId, PacketMode};
+pub use plugin::{InputRef, NullPlugin, OutPort, Plugin, SlotRef};
+pub use stats::{SpecialClass, Stats};
+pub use trace::{TraceEvent, Traced};
+pub use traffic::{
+    BitComplementTraffic, NoTraffic, ScriptedTraffic, TrafficSource, UniformTraffic, CTRL_FLITS,
+    DATA_FLITS,
+};
+pub use vc::{OccVc, VcRef, VcSlot};

@@ -1,0 +1,478 @@
+//! The raw network state: routers, VCs, bubbles, queues, clock, statistics.
+//!
+//! `NetCore` is deliberately separated from the [`crate::Simulator`] engine
+//! so that [`crate::Plugin`] implementations can receive `&mut NetCore`
+//! without aliasing the engine's own state.
+
+use crate::config::SimConfig;
+use crate::packet::{Packet, PacketId};
+use crate::plugin::{InputRef, OutPort};
+use crate::stats::Stats;
+use crate::vc::{VcRef, VcSlot};
+use sb_topology::{Direction, NodeId, Topology, DIRECTIONS};
+use std::collections::VecDeque;
+
+/// Index of the ejection "link" in per-output busy arrays.
+pub(crate) const EJECT: usize = 4;
+
+/// The static-bubble buffer of a router: one extra packet-sized VC that a
+/// plugin can activate, attached to a chosen (input port, vnet).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BubbleState {
+    /// When active, the (input port, vnet) the bubble serves.
+    pub attach: Option<(Direction, u8)>,
+    /// The buffer itself.
+    pub slot: VcSlot,
+}
+
+/// One committed packet movement, recorded for plugins to inspect in
+/// [`crate::Plugin::after_cycle`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveEvent {
+    /// Router the grant happened at.
+    pub router: NodeId,
+    /// The input-side buffer the packet left.
+    pub input: InputRef,
+    /// The output it was granted.
+    pub out: OutPort,
+    /// The moved packet.
+    pub pkt: PacketId,
+    /// Its vnet.
+    pub vnet: u8,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RouterState {
+    /// Input VCs per mesh port (indexed by `Direction::index()`), each of
+    /// length `cfg.vcs_per_port()`.
+    pub(crate) vcs: [Vec<VcSlot>; 4],
+    /// The optional static bubble.
+    pub(crate) bubble: Option<BubbleState>,
+    /// Output link busy-until times: 4 directions + ejection.
+    pub(crate) out_busy: [u64; 5],
+    /// Round-robin pointers per output.
+    pub(crate) rr: [u32; 5],
+}
+
+/// The complete mutable state of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetCore {
+    topo: Topology,
+    cfg: SimConfig,
+    time: u64,
+    pub(crate) routers: Vec<RouterState>,
+    /// Per-node, per-vnet injection queues.
+    pub(crate) inject: Vec<Vec<VecDeque<Packet>>>,
+    stats: Stats,
+    /// Packets delivered per destination router (measurement window).
+    delivered_per_node: Vec<u64>,
+    pub(crate) moved: Vec<MoveEvent>,
+    pub(crate) next_pkt: u64,
+    /// Cycle of the most recent packet movement anywhere in the network.
+    pub(crate) last_movement: u64,
+}
+
+impl NetCore {
+    /// Build the network over `topo`, creating a static-bubble buffer at
+    /// each router in `bubble_routers` (empty for the baselines).
+    pub fn new(topo: &Topology, cfg: SimConfig, bubble_routers: &[NodeId]) -> Self {
+        let n = topo.mesh().node_count();
+        let vcs = cfg.vcs_per_port();
+        let routers = (0..n)
+            .map(|i| RouterState {
+                vcs: std::array::from_fn(|_| vec![VcSlot::Free; vcs]),
+                bubble: bubble_routers
+                    .contains(&NodeId::from(i))
+                    .then(BubbleState::default),
+                out_busy: [0; 5],
+                rr: [0; 5],
+            })
+            .collect();
+        NetCore {
+            topo: topo.clone(),
+            cfg,
+            time: 0,
+            routers,
+            inject: vec![vec![VecDeque::new(); cfg.vnets as usize]; n],
+            stats: Stats::new(),
+            delivered_per_node: vec![0; n],
+            moved: Vec::new(),
+            next_pkt: 0,
+            last_movement: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    pub(crate) fn advance_time(&mut self) {
+        self.time += 1;
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Statistics of the current measurement window.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics (plugins account special-message traffic here).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Packets delivered per destination router since the last measurement
+    /// reset.
+    pub fn delivered_per_node(&self) -> &[u64] {
+        &self.delivered_per_node
+    }
+
+    pub(crate) fn record_delivery(&mut self, dst: NodeId) {
+        self.delivered_per_node[dst.index()] += 1;
+    }
+
+    /// Reset the measurement window (stats and per-node counters).
+    pub fn reset_measurement(&mut self) {
+        self.stats.reset_measurement();
+        self.delivered_per_node.fill(0);
+    }
+
+    /// Jain's fairness index over per-node deliveries of **alive, receiving**
+    /// routers: 1.0 = perfectly even service, → 1/n under total starvation
+    /// of all but one node. `None` before any delivery.
+    pub fn delivery_fairness(&self) -> Option<f64> {
+        let values: Vec<f64> = self
+            .topo
+            .alive_nodes()
+            .map(|n| self.delivered_per_node[n.index()] as f64)
+            .collect();
+        let sum: f64 = values.iter().sum();
+        if sum == 0.0 {
+            return None;
+        }
+        let sq_sum: f64 = values.iter().map(|v| v * v).sum();
+        Some(sum * sum / (values.len() as f64 * sq_sum))
+    }
+
+    /// Cycle of the most recent packet movement.
+    pub fn last_movement(&self) -> u64 {
+        self.last_movement
+    }
+
+    /// Movements committed in the current cycle so far (complete after
+    /// allocation; intended for [`crate::Plugin::after_cycle`]).
+    pub fn moves(&self) -> &[MoveEvent] {
+        &self.moved
+    }
+
+    // ------------------------------------------------------------------
+    // VC accessors
+    // ------------------------------------------------------------------
+
+    /// The slot at `vc`.
+    pub fn vc(&self, vc: VcRef) -> &VcSlot {
+        &self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
+    }
+
+    /// Mutable slot at `vc`.
+    pub fn vc_mut(&mut self, vc: VcRef) -> &mut VcSlot {
+        &mut self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
+    }
+
+    /// All VC slots at `(router, port)`.
+    pub fn vcs_at(&self, router: NodeId, port: Direction) -> &[VcSlot] {
+        &self.routers[router.index()].vcs[port.index()]
+    }
+
+    /// Iterate over every VC reference of `router`'s mesh ports.
+    pub fn vc_refs(&self, router: NodeId) -> impl Iterator<Item = VcRef> + '_ {
+        let vcs = self.cfg.vcs_per_port() as u8;
+        DIRECTIONS
+            .into_iter()
+            .flat_map(move |port| (0..vcs).map(move |vc| VcRef { router, port, vc }))
+    }
+
+    /// First free regular VC of `vnet` at `(router, port)`, if any.
+    pub fn first_free_regular_vc(&self, router: NodeId, port: Direction, vnet: u8) -> Option<u8> {
+        let now = self.time;
+        let slots = self.vcs_at(router, port);
+        self.cfg
+            .vcs_of_vnet(vnet)
+            .find(|&i| slots[i as usize].is_free(now))
+    }
+
+    /// Are **all** VCs of `vnet` at `(router, port)` occupied? (The probe
+    /// fork condition of Section IV-A.)
+    pub fn all_vcs_occupied(&self, router: NodeId, port: Direction, vnet: u8) -> bool {
+        let slots = self.vcs_at(router, port);
+        self.cfg
+            .vcs_of_vnet(vnet)
+            .all(|i| slots[i as usize].occupant().is_some())
+    }
+
+    /// The set of outputs wanted by head packets of `vnet` at
+    /// `(router, port)` whose heads are switchable.
+    pub fn wanted_outputs(&self, router: NodeId, port: Direction, vnet: u8) -> Vec<OutPort> {
+        let slots = self.vcs_at(router, port);
+        let mut out = Vec::new();
+        for i in self.cfg.vcs_of_vnet(vnet) {
+            if let Some(occ) = slots[i as usize].occupant() {
+                let want = match occ.pkt.desired_hop() {
+                    Some(d) => OutPort::Dir(d),
+                    None => OutPort::Eject,
+                };
+                if !out.contains(&want) {
+                    out.push(want);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does any mesh-port VC of `router` hold a packet?
+    pub fn any_occupied(&self, router: NodeId) -> bool {
+        DIRECTIONS.into_iter().any(|p| {
+            self.vcs_at(router, p)
+                .iter()
+                .any(|s| s.occupant().is_some())
+        })
+    }
+
+    /// Number of packets resident in VCs and bubbles (not source queues).
+    pub fn in_flight(&self) -> usize {
+        self.routers
+            .iter()
+            .map(|r| {
+                r.vcs
+                    .iter()
+                    .flatten()
+                    .filter(|s| s.occupant().is_some())
+                    .count()
+                    + usize::from(
+                        r.bubble
+                            .as_ref()
+                            .is_some_and(|b| b.slot.occupant().is_some()),
+                    )
+            })
+            .sum()
+    }
+
+    /// Number of packets waiting in source queues.
+    pub fn queued(&self) -> usize {
+        self.inject.iter().flatten().map(VecDeque::len).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Bubble control (used by the Static Bubble plugin)
+    // ------------------------------------------------------------------
+
+    /// Does `router` have a static-bubble buffer?
+    pub fn has_bubble(&self, router: NodeId) -> bool {
+        self.routers[router.index()].bubble.is_some()
+    }
+
+    /// The bubble state of `router`, if it has one.
+    pub fn bubble(&self, router: NodeId) -> Option<&BubbleState> {
+        self.routers[router.index()].bubble.as_ref()
+    }
+
+    /// Activate the bubble at `router`, attaching it to `(port, vnet)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router has no bubble or the bubble is occupied.
+    pub fn bubble_activate(&mut self, router: NodeId, port: Direction, vnet: u8) {
+        let b = self.routers[router.index()]
+            .bubble
+            .as_mut()
+            .expect("router has no static bubble");
+        assert!(
+            b.slot.occupant().is_none(),
+            "activating an occupied bubble at {router}"
+        );
+        b.attach = Some((port, vnet));
+    }
+
+    /// Deactivate the bubble at `router` (it stops accepting packets; an
+    /// occupant, if any, still drains normally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router has no bubble.
+    pub fn bubble_deactivate(&mut self, router: NodeId) {
+        let b = self.routers[router.index()]
+            .bubble
+            .as_mut()
+            .expect("router has no static bubble");
+        b.attach = None;
+    }
+
+    /// Remove and return the packet occupying the bubble at `router`, if
+    /// any, leaving the bubble slot free (used for the paper's intra-router
+    /// bubble→VC relocation, footnote 6).
+    pub fn bubble_take_occupant(&mut self, router: NodeId) -> Option<crate::vc::OccVc> {
+        let b = self.routers[router.index()].bubble.as_mut()?;
+        b.slot.occupant()?;
+        let t = self.time;
+        let occ = b.slot.take(t);
+        b.slot = VcSlot::Free;
+        Some(occ)
+    }
+
+    /// Is the bubble at `router` active for `(port, vnet)` and free?
+    pub fn bubble_available(&self, router: NodeId, port: Direction, vnet: u8) -> bool {
+        let now = self.time;
+        self.routers[router.index()]
+            .bubble
+            .as_ref()
+            .is_some_and(|b| b.attach == Some((port, vnet)) && b.slot.is_free(now))
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with the engine
+    // ------------------------------------------------------------------
+
+    /// Swap the topology (runtime reconfiguration). The mesh must be
+    /// unchanged; only alive/dead state may differ.
+    pub(crate) fn set_topology(&mut self, topo: &Topology) {
+        assert_eq!(self.topo.mesh(), topo.mesh(), "reconfigure keeps the mesh");
+        self.topo = topo.clone();
+    }
+
+    pub(crate) fn fresh_packet_id(&mut self) -> PacketId {
+        let id = PacketId(self.next_pkt);
+        self.next_pkt += 1;
+        id
+    }
+
+    /// The packet held at `input`, if any and if its head is switchable.
+    pub fn packet_at(&self, input: InputRef) -> Option<&Packet> {
+        match input {
+            InputRef::Vc(v) => self.vc(v).occupant().map(|o| &o.pkt),
+            InputRef::Bubble(r) => self.routers[r.index()]
+                .bubble
+                .as_ref()
+                .and_then(|b| b.slot.occupant())
+                .map(|o| &o.pkt),
+            InputRef::Inject { node, vnet } => {
+                self.inject[node.index()][vnet as usize].front()
+            }
+        }
+    }
+
+    /// Mutable access to a resident packet (used by the escape-VC plugin to
+    /// re-stamp routes). Returns `None` for injection-queue inputs.
+    pub fn packet_at_mut(&mut self, input: InputRef) -> Option<&mut Packet> {
+        match input {
+            InputRef::Vc(v) => self.vc_mut(v).occupant_mut().map(|o| &mut o.pkt),
+            InputRef::Bubble(r) => self.routers[r.index()]
+                .bubble
+                .as_mut()
+                .and_then(|b| b.slot.occupant_mut())
+                .map(|o| &mut o.pkt),
+            InputRef::Inject { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NewPacket;
+    use crate::vc::OccVc;
+    use sb_routing::Route;
+    use sb_topology::Mesh;
+
+    fn core_with_bubble() -> (NetCore, NodeId) {
+        let topo = Topology::full(Mesh::new(4, 4));
+        let node = NodeId(5);
+        (
+            NetCore::new(&topo, SimConfig::default(), &[node]),
+            node,
+        )
+    }
+
+    fn dummy_packet(id: u64, vnet: u8) -> Packet {
+        Packet::new(
+            PacketId(id),
+            NewPacket {
+                src: NodeId(0),
+                dst: NodeId(1),
+                vnet,
+                len_flits: 5,
+            },
+            Route::new(vec![Direction::East]),
+            0,
+        )
+    }
+
+    #[test]
+    fn fresh_core_is_empty() {
+        let (core, _) = core_with_bubble();
+        assert_eq!(core.in_flight(), 0);
+        assert_eq!(core.queued(), 0);
+        assert!(!core.any_occupied(NodeId(0)));
+        assert_eq!(core.vc_refs(NodeId(0)).count(), 4 * 12);
+    }
+
+    #[test]
+    fn bubble_lifecycle() {
+        let (mut core, node) = core_with_bubble();
+        assert!(core.has_bubble(node));
+        assert!(!core.has_bubble(NodeId(0)));
+        assert!(!core.bubble_available(node, Direction::South, 0));
+        core.bubble_activate(node, Direction::South, 0);
+        assert!(core.bubble_available(node, Direction::South, 0));
+        assert!(!core.bubble_available(node, Direction::North, 0));
+        core.bubble_deactivate(node);
+        assert!(!core.bubble_available(node, Direction::South, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no static bubble")]
+    fn bubble_activate_without_bubble_panics() {
+        let (mut core, _) = core_with_bubble();
+        core.bubble_activate(NodeId(0), Direction::South, 0);
+    }
+
+    #[test]
+    fn occupancy_queries() {
+        let (mut core, _) = core_with_bubble();
+        let r = NodeId(9);
+        // Fill all vnet-1 VCs at the North port.
+        for vc in core.config().vcs_of_vnet(1) {
+            core.vc_mut(VcRef {
+                router: r,
+                port: Direction::North,
+                vc,
+            })
+            .put(
+                OccVc {
+                    pkt: dummy_packet(vc as u64, 1),
+                    ready_at: 0,
+                },
+                0,
+            );
+        }
+        assert!(core.all_vcs_occupied(r, Direction::North, 1));
+        assert!(!core.all_vcs_occupied(r, Direction::North, 0));
+        assert_eq!(core.first_free_regular_vc(r, Direction::North, 1), None);
+        assert!(core.first_free_regular_vc(r, Direction::North, 0).is_some());
+        assert_eq!(
+            core.wanted_outputs(r, Direction::North, 1),
+            vec![OutPort::Dir(Direction::East)]
+        );
+        assert!(core.any_occupied(r));
+        assert_eq!(core.in_flight(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! The plugin interface through which deadlock-handling schemes attach to
+//! the simulator.
+//!
+//! The engine consults the plugin at three points each cycle:
+//!
+//! 1. [`Plugin::before_cycle`] / [`Plugin::after_cycle`] — protocol work
+//!    (FSMs, special messages, timeout counters) with full mutable access to
+//!    the network state;
+//! 2. [`Plugin::allow_grant`] — veto over individual switch-allocation
+//!    grants (this is where Static Bubble's `is_deadlock` injection
+//!    restrictions live);
+//! 3. [`Plugin::pick_slot`] — choice of the downstream buffer a packet is
+//!    granted into (regular VC, escape VC, or an active static bubble).
+
+use crate::netcore::NetCore;
+use crate::packet::Packet;
+use crate::vc::VcRef;
+use sb_topology::{Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An output of a router: a mesh direction or local ejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutPort {
+    /// Towards a neighbouring router.
+    Dir(Direction),
+    /// Ejection to the local NI.
+    Eject,
+}
+
+/// An input-side buffer position competing for the crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputRef {
+    /// A regular VC.
+    Vc(VcRef),
+    /// The static-bubble buffer of the router (at most one per router).
+    Bubble(NodeId),
+    /// The head of a local injection queue.
+    Inject {
+        /// The injecting node.
+        node: NodeId,
+        /// The queue's virtual network.
+        vnet: u8,
+    },
+}
+
+impl InputRef {
+    /// The input *port* this buffer reads through (for the one-grant-per-
+    /// input-port crossbar constraint). Bubbles read through their attached
+    /// port but are tracked separately; injection uses the local port.
+    pub fn router(&self) -> NodeId {
+        match *self {
+            InputRef::Vc(v) => v.router,
+            InputRef::Bubble(r) => r,
+            InputRef::Inject { node, .. } => node,
+        }
+    }
+}
+
+/// The downstream buffer selected for a granted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotRef {
+    /// Regular VC with the given flat index.
+    Regular(u8),
+    /// The router's static bubble.
+    Bubble,
+}
+
+/// Deadlock-handling scheme attached to a [`crate::Simulator`].
+///
+/// The default implementations describe a plain network with no mechanism —
+/// which is correct for the spanning-tree avoidance baseline, whose
+/// deadlock-freedom comes entirely from its routes.
+pub trait Plugin {
+    /// Called at the start of every cycle, before allocation. Special
+    /// message delivery and FSM transitions happen here.
+    fn before_cycle(&mut self, core: &mut NetCore) {
+        let _ = core;
+    }
+
+    /// Called at the end of every cycle, after allocation. Timeout counters
+    /// that depend on observed movement happen here.
+    fn after_cycle(&mut self, core: &mut NetCore) {
+        let _ = core;
+    }
+
+    /// May the packet held at `input` of `router` be granted to `out` this
+    /// cycle? Vetoing is how injection restrictions are enforced.
+    fn allow_grant(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        input: InputRef,
+        out: OutPort,
+        pkt: &Packet,
+    ) -> bool {
+        let _ = (core, router, input, out, pkt);
+        true
+    }
+
+    /// Choose the buffer at `router`'s input port `port` that `pkt` would
+    /// occupy if granted, or `None` if no buffer is available to it.
+    fn pick_slot(
+        &self,
+        core: &NetCore,
+        router: NodeId,
+        port: Direction,
+        pkt: &Packet,
+    ) -> Option<SlotRef> {
+        core.first_free_regular_vc(router, port, pkt.vnet)
+            .map(SlotRef::Regular)
+    }
+
+    /// The packet occupying the static bubble at `router` has departed
+    /// (the bubble is "re-claimed", Section IV-A step 14).
+    fn on_bubble_freed(&mut self, core: &mut NetCore, router: NodeId) {
+        let _ = (core, router);
+    }
+}
+
+/// The no-mechanism plugin: plain VC allocation, no vetoes, no bubbles.
+///
+/// Used for the spanning-tree deadlock-avoidance baseline and for raw
+/// deadlock-formation experiments (Figs. 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NullPlugin;
+
+impl Plugin for NullPlugin {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_ref_router() {
+        let vc = InputRef::Vc(VcRef {
+            router: NodeId(3),
+            port: Direction::North,
+            vc: 2,
+        });
+        assert_eq!(vc.router(), NodeId(3));
+        assert_eq!(InputRef::Bubble(NodeId(5)).router(), NodeId(5));
+        assert_eq!(
+            InputRef::Inject {
+                node: NodeId(9),
+                vnet: 1
+            }
+            .router(),
+            NodeId(9)
+        );
+    }
+}

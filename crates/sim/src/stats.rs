@@ -1,0 +1,192 @@
+//! Measurement counters: latency, throughput, drops, link utilization.
+
+use serde::{Deserialize, Serialize};
+
+/// Special-message classes of the Static Bubble protocol, tracked here so the
+/// link-utilization breakdown of Fig. 11 falls out of the generic stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialClass {
+    /// Deadlock-detection probe.
+    Probe,
+    /// Injection-disable message.
+    Disable,
+    /// Check-probe (fast re-check after one recovery step).
+    CheckProbe,
+    /// Enable (restriction removal) message.
+    Enable,
+}
+
+impl SpecialClass {
+    /// Stable index 0..4.
+    pub fn index(self) -> usize {
+        match self {
+            SpecialClass::Probe => 0,
+            SpecialClass::Disable => 1,
+            SpecialClass::CheckProbe => 2,
+            SpecialClass::Enable => 3,
+        }
+    }
+
+    /// All classes.
+    pub const ALL: [SpecialClass; 4] = [
+        SpecialClass::Probe,
+        SpecialClass::Disable,
+        SpecialClass::CheckProbe,
+        SpecialClass::Enable,
+    ];
+}
+
+/// Aggregate simulation statistics.
+///
+/// All counters are cumulative since construction or the last
+/// [`Stats::reset_measurement`] (which is how warmup is excluded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Stats {
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Packets handed to the network (entered a source queue).
+    pub offered_packets: u64,
+    /// Flits offered.
+    pub offered_flits: u64,
+    /// Packets that left a source queue into the network.
+    pub injected_packets: u64,
+    /// Packets delivered to their destination NI.
+    pub delivered_packets: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Packets dropped at injection because the destination is unreachable.
+    pub dropped_packets: u64,
+    /// In-flight packets lost to a runtime reconfiguration (their router
+    /// died or no route survived).
+    pub lost_packets: u64,
+    /// Sum over delivered packets of (delivery − creation) cycles.
+    pub latency_sum: u64,
+    /// Max packet latency observed.
+    pub latency_max: u64,
+    /// Sum of (delivery − injection-grant) cycles, i.e. excluding source
+    /// queueing.
+    pub network_latency_sum: u64,
+    /// Number of packet-grants (movements) in the window.
+    pub movements: u64,
+    /// Data-flit link traversals (flit × link), for utilization and energy.
+    pub data_link_flits: u64,
+    /// Router traversals by data flits (flit × router), for energy.
+    pub data_router_flits: u64,
+    /// Link traversals by special messages, per class.
+    pub special_link_flits: [u64; 4],
+    /// Probes sent (FSM timeouts that emitted a probe).
+    pub probes_sent: u64,
+    /// Deadlocks recovered (disable returned and a bubble was activated).
+    pub deadlocks_recovered: u64,
+}
+
+impl Stats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Average packet latency (creation → delivery), `None` if nothing was
+    /// delivered.
+    pub fn avg_latency(&self) -> Option<f64> {
+        (self.delivered_packets > 0)
+            .then(|| self.latency_sum as f64 / self.delivered_packets as f64)
+    }
+
+    /// Average network latency (injection → delivery).
+    pub fn avg_network_latency(&self) -> Option<f64> {
+        (self.delivered_packets > 0)
+            .then(|| self.network_latency_sum as f64 / self.delivered_packets as f64)
+    }
+
+    /// Delivered throughput in flits per node per cycle.
+    pub fn throughput(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delivered_flits as f64 / nodes as f64 / self.cycles as f64
+    }
+
+    /// Fraction of offered flits delivered (1.0 when the network keeps up).
+    pub fn acceptance(&self) -> f64 {
+        if self.offered_flits == 0 {
+            return 1.0;
+        }
+        self.delivered_flits as f64 / self.offered_flits as f64
+    }
+
+    /// Link utilization of data flits, given total alive unidirectional link
+    /// count.
+    pub fn data_link_utilization(&self, unidirectional_links: usize) -> f64 {
+        if self.cycles == 0 || unidirectional_links == 0 {
+            return 0.0;
+        }
+        self.data_link_flits as f64 / (unidirectional_links as f64 * self.cycles as f64)
+    }
+
+    /// Link utilization of one special-message class.
+    pub fn special_link_utilization(
+        &self,
+        class: SpecialClass,
+        unidirectional_links: usize,
+    ) -> f64 {
+        if self.cycles == 0 || unidirectional_links == 0 {
+            return 0.0;
+        }
+        self.special_link_flits[class.index()] as f64
+            / (unidirectional_links as f64 * self.cycles as f64)
+    }
+
+    /// Zero every counter: begin a fresh measurement window (call after
+    /// warmup).
+    pub fn reset_measurement(&mut self) {
+        *self = Stats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_empty() {
+        let s = Stats::new();
+        assert_eq!(s.avg_latency(), None);
+        assert_eq!(s.throughput(64), 0.0);
+        assert_eq!(s.acceptance(), 1.0);
+    }
+
+    #[test]
+    fn throughput_and_latency() {
+        let s = Stats {
+            cycles: 100,
+            delivered_packets: 10,
+            delivered_flits: 50,
+            latency_sum: 200,
+            offered_flits: 60,
+            ..Stats::default()
+        };
+        assert_eq!(s.avg_latency(), Some(20.0));
+        assert!((s.throughput(5) - 0.1).abs() < 1e-12);
+        assert!((s.acceptance() - 50.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn special_class_indices_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in SpecialClass::ALL {
+            assert!(seen.insert(c.index()));
+        }
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = Stats {
+            cycles: 5,
+            delivered_packets: 1,
+            ..Stats::default()
+        };
+        s.reset_measurement();
+        assert_eq!(s, Stats::default());
+    }
+}

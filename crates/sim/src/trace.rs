@@ -1,0 +1,262 @@
+//! Packet-lifecycle tracing: wrap any [`TrafficSource`] in a [`Traced`]
+//! decorator to record offered/delivered events for offline analysis
+//! (latency distributions, per-flow breakdowns, experiment debugging).
+
+use crate::packet::{NewPacket, Packet};
+use crate::traffic::TrafficSource;
+use sb_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A packet was offered to the network.
+    Offered {
+        /// Cycle of the offer.
+        time: u64,
+        /// Source router.
+        src: NodeId,
+        /// Destination router.
+        dst: NodeId,
+        /// Length in flits.
+        len_flits: u16,
+    },
+    /// A packet reached its destination NI.
+    Delivered {
+        /// Delivery cycle.
+        time: u64,
+        /// Source router.
+        src: NodeId,
+        /// Destination router.
+        dst: NodeId,
+        /// Creation → delivery latency in cycles.
+        latency: u64,
+    },
+}
+
+/// A [`TrafficSource`] decorator recording every offer and delivery.
+#[derive(Debug, Clone)]
+pub struct Traced<T> {
+    inner: T,
+    events: Vec<TraceEvent>,
+}
+
+impl<T> Traced<T> {
+    /// Wrap a traffic source.
+    pub fn new(inner: T) -> Self {
+        Traced {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Consume the decorator and return `(inner, events)`.
+    pub fn into_parts(self) -> (T, Vec<TraceEvent>) {
+        (self.inner, self.events)
+    }
+
+    /// Delivery latencies, in delivery order.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Delivered { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Latency percentile (`p` in 0..=100) over delivered packets.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        let mut lats = self.latencies();
+        if lats.is_empty() {
+            return None;
+        }
+        lats.sort_unstable();
+        let idx = ((p / 100.0) * (lats.len() - 1) as f64).round() as usize;
+        Some(lats[idx.min(lats.len() - 1)])
+    }
+
+    /// Serialize the events to a compact line format
+    /// (`O,time,src,dst,len` / `D,time,src,dst,latency`), parseable with
+    /// [`TraceEvent::parse_lines`].
+    pub fn to_lines(&self) -> String {
+        self.events
+            .iter()
+            .map(TraceEvent::to_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl TraceEvent {
+    /// One-line compact form.
+    pub fn to_line(&self) -> String {
+        match *self {
+            TraceEvent::Offered { time, src, dst, len_flits } => {
+                format!("O,{time},{},{},{len_flits}", src.0, dst.0)
+            }
+            TraceEvent::Delivered { time, src, dst, latency } => {
+                format!("D,{time},{},{},{latency}", src.0, dst.0)
+            }
+        }
+    }
+
+    /// Parse the output of [`Traced::to_lines`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending line on malformed input.
+    pub fn parse_lines(text: &str) -> Result<Vec<TraceEvent>, String> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|line| {
+                let parts: Vec<&str> = line.split(',').collect();
+                let bad = || line.to_string();
+                if parts.len() != 5 {
+                    return Err(bad());
+                }
+                let num = |i: usize| parts[i].parse::<u64>().map_err(|_| bad());
+                let node = |i: usize| {
+                    parts[i]
+                        .parse::<u16>()
+                        .map(NodeId)
+                        .map_err(|_| bad())
+                };
+                match parts[0] {
+                    "O" => Ok(TraceEvent::Offered {
+                        time: num(1)?,
+                        src: node(2)?,
+                        dst: node(3)?,
+                        len_flits: parts[4].parse().map_err(|_| bad())?,
+                    }),
+                    "D" => Ok(TraceEvent::Delivered {
+                        time: num(1)?,
+                        src: node(2)?,
+                        dst: node(3)?,
+                        latency: num(4)?,
+                    }),
+                    _ => Err(bad()),
+                }
+            })
+            .collect()
+    }
+}
+
+impl<T: TrafficSource> TrafficSource for Traced<T> {
+    fn generate(
+        &mut self,
+        time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let pkts = self.inner.generate(time, topo, rng);
+        for p in &pkts {
+            self.events.push(TraceEvent::Offered {
+                time,
+                src: p.src,
+                dst: p.dst,
+                len_flits: p.len_flits,
+            });
+        }
+        pkts
+    }
+
+    fn on_delivered(&mut self, pkt: &Packet, time: u64) {
+        self.events.push(TraceEvent::Delivered {
+            time,
+            src: pkt.src,
+            dst: pkt.dst,
+            latency: time.saturating_sub(pkt.created_at),
+        });
+        self.inner.on_delivered(pkt, time);
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Simulator;
+    use crate::plugin::NullPlugin;
+    use crate::traffic::ScriptedTraffic;
+    use sb_routing::XyRouting;
+    use sb_topology::{Mesh, Topology};
+
+    fn traced_run() -> Traced<ScriptedTraffic> {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::full(mesh);
+        let script: Vec<(u64, NewPacket)> = (0..10)
+            .map(|i| {
+                (
+                    i,
+                    NewPacket {
+                        src: mesh.node_at(0, 0),
+                        dst: mesh.node_at(3, 3),
+                        vnet: 0,
+                        len_flits: 5,
+                    },
+                )
+            })
+            .collect();
+        let mut sim = Simulator::new(
+            &topo,
+            SimConfig::single_vnet(),
+            Box::new(XyRouting::new(&topo)),
+            NullPlugin,
+            Traced::new(ScriptedTraffic::new(script)),
+            0,
+        );
+        assert!(sim.run_until_drained(2_000));
+        let (traffic, _) = (sim.traffic().clone(), ());
+        traffic
+    }
+
+    #[test]
+    fn records_offers_and_deliveries() {
+        let traced = traced_run();
+        let offers = traced
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Offered { .. }))
+            .count();
+        assert_eq!(offers, 10);
+        assert_eq!(traced.latencies().len(), 10);
+        // XY route is 6 hops: floor latency 12 + 5 serialization.
+        assert!(traced.latencies().iter().all(|&l| l >= 17));
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let traced = traced_run();
+        let p50 = traced.latency_percentile(50.0).unwrap();
+        let p99 = traced.latency_percentile(99.0).unwrap();
+        assert!(p50 <= p99);
+        assert!(traced.latency_percentile(0.0).unwrap() <= p50);
+        assert_eq!(Traced::new(crate::traffic::NoTraffic).latency_percentile(50.0), None);
+    }
+
+    #[test]
+    fn line_format_roundtrips() {
+        let traced = traced_run();
+        let text = traced.to_lines();
+        let parsed = TraceEvent::parse_lines(&text).unwrap();
+        assert_eq!(parsed, traced.events());
+        assert!(TraceEvent::parse_lines("bogus,1").is_err());
+        assert!(TraceEvent::parse_lines("X,1,2,3,4").is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Traffic sources: synthetic open-loop injectors and scripted traffic.
+//!
+//! The richer application profiles (PARSEC / Rodinia stand-ins) live in
+//! `sb-workloads`; this module has the trait plus the two synthetic patterns
+//! of Table II and test helpers.
+
+use crate::packet::{NewPacket, Packet};
+use rand::Rng;
+use sb_topology::{NodeId, Topology};
+
+/// Produces injection requests each cycle and observes deliveries (for
+/// closed-loop workloads).
+pub trait TrafficSource {
+    /// Packets to enqueue this cycle.
+    fn generate(
+        &mut self,
+        time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket>;
+
+    /// Called when a packet reaches its destination NI.
+    fn on_delivered(&mut self, pkt: &Packet, time: u64) {
+        let _ = (pkt, time);
+    }
+
+    /// `true` once the source will never generate again (lets drain loops
+    /// terminate early).
+    fn exhausted(&self) -> bool {
+        false
+    }
+}
+
+/// Flit length used for data packets by the synthetic sources.
+pub const DATA_FLITS: u16 = 5;
+/// Flit length used for control packets by the synthetic sources.
+pub const CTRL_FLITS: u16 = 1;
+
+/// Common knobs of the Bernoulli-injection synthetic patterns: offered load
+/// in flits/node/cycle with the paper's mix of 1-flit and 5-flit packets.
+#[derive(Debug, Clone, Copy)]
+struct SyntheticLoad {
+    rate: f64,
+    data_fraction: f64,
+    ctrl_vnet: u8,
+    data_vnet: u8,
+}
+
+impl SyntheticLoad {
+    fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0, "injection rate must be non-negative");
+        SyntheticLoad {
+            rate,
+            data_fraction: 0.5,
+            ctrl_vnet: 0,
+            data_vnet: 2,
+        }
+    }
+
+    fn avg_flits(&self) -> f64 {
+        self.data_fraction * DATA_FLITS as f64 + (1.0 - self.data_fraction) * CTRL_FLITS as f64
+    }
+
+    /// Probability a given node injects a packet this cycle.
+    fn packet_prob(&self) -> f64 {
+        self.rate / self.avg_flits()
+    }
+
+    fn draw_shape(&self, rng: &mut dyn rand::RngCore) -> (u8, u16) {
+        if rng.gen_bool(self.data_fraction) {
+            (self.data_vnet, DATA_FLITS)
+        } else {
+            (self.ctrl_vnet, CTRL_FLITS)
+        }
+    }
+}
+
+/// Uniform-random traffic: every alive node injects Bernoulli packets to
+/// uniformly chosen alive destinations.
+///
+/// `rate` is in flits/node/cycle, the unit of the paper's injection sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformTraffic {
+    load: SyntheticLoad,
+}
+
+impl UniformTraffic {
+    /// Uniform-random traffic at `rate` flits/node/cycle, 50/50 mix of
+    /// 1-flit (vnet 0) and 5-flit (vnet 2) packets.
+    pub fn new(rate: f64) -> Self {
+        UniformTraffic {
+            load: SyntheticLoad::new(rate),
+        }
+    }
+
+    /// Put all packets in one vnet (for single-vnet configurations).
+    pub fn single_vnet(mut self) -> Self {
+        self.load.ctrl_vnet = 0;
+        self.load.data_vnet = 0;
+        self
+    }
+
+    /// Override the fraction of 5-flit data packets (default 0.5).
+    pub fn data_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.load.data_fraction = f;
+        self
+    }
+}
+
+impl TrafficSource for UniformTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let alive: Vec<NodeId> = topo.alive_nodes().collect();
+        if alive.len() < 2 {
+            return Vec::new();
+        }
+        let p = self.load.packet_prob();
+        let mut out = Vec::new();
+        for &src in &alive {
+            if rng.gen_bool(p.min(1.0)) {
+                let mut dst = alive[rng.gen_range(0..alive.len())];
+                while dst == src {
+                    dst = alive[rng.gen_range(0..alive.len())];
+                }
+                let (vnet, len_flits) = self.load.draw_shape(rng);
+                out.push(NewPacket {
+                    src,
+                    dst,
+                    vnet,
+                    len_flits,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Bit-complement traffic: node (x, y) sends to (width−1−x, height−1−y).
+///
+/// Packets whose complement node is dead are not generated; unreachable
+/// (but alive) destinations are dropped by the engine, as in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct BitComplementTraffic {
+    load: SyntheticLoad,
+}
+
+impl BitComplementTraffic {
+    /// Bit-complement traffic at `rate` flits/node/cycle.
+    pub fn new(rate: f64) -> Self {
+        BitComplementTraffic {
+            load: SyntheticLoad::new(rate),
+        }
+    }
+
+    /// Put all packets in one vnet.
+    pub fn single_vnet(mut self) -> Self {
+        self.load.ctrl_vnet = 0;
+        self.load.data_vnet = 0;
+        self
+    }
+}
+
+impl TrafficSource for BitComplementTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let mesh = topo.mesh();
+        let p = self.load.packet_prob();
+        let mut out = Vec::new();
+        for src in topo.alive_nodes() {
+            let c = mesh.coord(src);
+            let dst = mesh.node_at(mesh.width() - 1 - c.x, mesh.height() - 1 - c.y);
+            if dst == src || !topo.router_alive(dst) {
+                continue;
+            }
+            if rng.gen_bool(p.min(1.0)) {
+                let (vnet, len_flits) = self.load.draw_shape(rng);
+                out.push(NewPacket {
+                    src,
+                    dst,
+                    vnet,
+                    len_flits,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// No traffic at all (drain phases, hand-constructed network states in
+/// tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTraffic;
+
+impl TrafficSource for NoTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        _topo: &Topology,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        Vec::new()
+    }
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+}
+
+/// A fixed script of `(cycle, packet)` injections, for deterministic tests
+/// and walk-through reproductions.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedTraffic {
+    /// Remaining events, sorted by cycle ascending.
+    events: Vec<(u64, NewPacket)>,
+    cursor: usize,
+}
+
+impl ScriptedTraffic {
+    /// Create a script. Events need not be pre-sorted.
+    pub fn new(mut events: Vec<(u64, NewPacket)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        ScriptedTraffic { events, cursor: 0 }
+    }
+}
+
+impl TrafficSource for ScriptedTraffic {
+    fn generate(
+        &mut self,
+        time: u64,
+        _topo: &Topology,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= time {
+            out.push(self.events[self.cursor].1);
+            self.cursor += 1;
+        }
+        out
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sb_topology::{Mesh, Topology};
+
+    #[test]
+    fn uniform_traffic_rate_is_calibrated() {
+        let topo = Topology::full(Mesh::new(8, 8));
+        let mut src = UniformTraffic::new(0.3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut flits = 0u64;
+        let cycles = 4_000;
+        for t in 0..cycles {
+            for p in src.generate(t, &topo, &mut rng) {
+                assert_ne!(p.src, p.dst);
+                flits += p.len_flits as u64;
+            }
+        }
+        let rate = flits as f64 / 64.0 / cycles as f64;
+        assert!((rate - 0.3).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn bit_complement_pairs() {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::full(mesh);
+        let mut src = BitComplementTraffic::new(1.0).single_vnet();
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in src.generate(0, &topo, &mut rng) {
+            let a = mesh.coord(p.src);
+            let b = mesh.coord(p.dst);
+            assert_eq!((b.x, b.y), (3 - a.x, 3 - a.y));
+            assert_eq!(p.vnet, 0);
+        }
+    }
+
+    #[test]
+    fn scripted_traffic_fires_in_order() {
+        let topo = Topology::full(Mesh::new(2, 2));
+        let pkt = NewPacket {
+            src: NodeId(0),
+            dst: NodeId(3),
+            vnet: 0,
+            len_flits: 1,
+        };
+        let mut src = ScriptedTraffic::new(vec![(5, pkt), (2, pkt)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(src.generate(0, &topo, &mut rng).is_empty());
+        assert_eq!(src.generate(2, &topo, &mut rng).len(), 1);
+        assert!(src.generate(3, &topo, &mut rng).is_empty());
+        assert_eq!(src.generate(6, &topo, &mut rng).len(), 1);
+        assert!(src.exhausted());
+    }
+}

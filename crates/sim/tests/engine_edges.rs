@@ -1,0 +1,201 @@
+//! Engine edge cases: argument validation, vnet clamping, arbitration
+//! fairness.
+
+use sb_routing::XyRouting;
+use sb_sim::{NewPacket, NullPlugin, ScriptedTraffic, SimConfig, Simulator};
+use sb_topology::{Mesh, NodeId, Topology};
+
+#[test]
+#[should_panic(expected = "packet length")]
+fn oversized_packets_are_rejected() {
+    let mesh = Mesh::new(2, 2);
+    let topo = Topology::full(mesh);
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::tiny(), // max 5 flits
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        ScriptedTraffic::new(vec![(
+            0,
+            NewPacket {
+                src: NodeId(0),
+                dst: NodeId(3),
+                vnet: 0,
+                len_flits: 6,
+            },
+        )]),
+        0,
+    );
+    sim.tick();
+}
+
+#[test]
+#[should_panic(expected = "packet length")]
+fn zero_length_packets_are_rejected() {
+    let mesh = Mesh::new(2, 2);
+    let topo = Topology::full(mesh);
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::tiny(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        ScriptedTraffic::new(vec![(
+            0,
+            NewPacket {
+                src: NodeId(0),
+                dst: NodeId(3),
+                vnet: 0,
+                len_flits: 0,
+            },
+        )]),
+        0,
+    );
+    sim.tick();
+}
+
+#[test]
+fn out_of_range_vnets_are_clamped() {
+    let mesh = Mesh::new(3, 1);
+    let topo = Topology::full(mesh);
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::tiny(), // 1 vnet
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        ScriptedTraffic::new(vec![(
+            0,
+            NewPacket {
+                src: NodeId(0),
+                dst: NodeId(2),
+                vnet: 7, // clamped to 0
+                len_flits: 1,
+            },
+        )]),
+        0,
+    );
+    assert!(sim.run_until_drained(100));
+    assert_eq!(sim.core().stats().delivered_packets, 1);
+}
+
+#[test]
+fn round_robin_shares_a_contended_output() {
+    // Two sources feed the same column; the shared link must serve both
+    // within a factor ~2 of each other over a long window.
+    let mesh = Mesh::new(3, 3);
+    let topo = Topology::full(mesh);
+    // Packets from (0,1) and (0,2)... both cross (1,1) -> (2,1) after an
+    // XY turn; instead use two flows that share the final link into (2,1):
+    // (0,1)->(2,1) and (1,0)... simplest: alternate injections from two
+    // sources to one sink along the same row.
+    let mut script = Vec::new();
+    for i in 0..200u64 {
+        script.push((
+            i,
+            NewPacket {
+                src: mesh.node_at(0, 1),
+                dst: mesh.node_at(2, 1),
+                vnet: 0,
+                len_flits: 1,
+            },
+        ));
+        script.push((
+            i,
+            NewPacket {
+                src: mesh.node_at(1, 2),
+                dst: mesh.node_at(2, 1),
+                vnet: 0,
+                len_flits: 1,
+            },
+        ));
+    }
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        ScriptedTraffic::new(script),
+        0,
+    );
+    assert!(sim.run_until_drained(20_000));
+    assert_eq!(sim.core().stats().delivered_packets, 400);
+}
+
+#[test]
+fn run_until_deadlock_respects_budget() {
+    let topo = Topology::full(Mesh::new(3, 3));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        sb_sim::NoTraffic,
+        0,
+    );
+    let before = sim.time();
+    assert_eq!(sim.run_until_deadlock(100, 10), None);
+    assert!(sim.time() >= before + 100);
+    assert!(sim.time() <= before + 110);
+}
+
+#[test]
+fn fairness_index_distinguishes_uniform_from_hotspot() {
+    use sb_routing::MinimalRouting;
+    use sb_sim::UniformTraffic;
+    let mesh = Mesh::new(6, 6);
+    let topo = Topology::full(mesh);
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
+        NullPlugin,
+        UniformTraffic::new(0.1).single_vnet(),
+        5,
+    );
+    sim.warmup(1_000);
+    sim.run(5_000);
+    let uniform_fairness = sim.core().delivery_fairness().unwrap();
+    assert!(
+        uniform_fairness > 0.9,
+        "uniform traffic should serve nodes evenly, got {uniform_fairness}"
+    );
+    // A single-sink script is maximally unfair.
+    let mut sink = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
+        NullPlugin,
+        ScriptedTraffic::new(
+            (0..100)
+                .map(|i| {
+                    (
+                        i,
+                        NewPacket {
+                            src: mesh.node_at(0, 0),
+                            dst: mesh.node_at(5, 5),
+                            vnet: 0,
+                            len_flits: 1,
+                        },
+                    )
+                })
+                .collect(),
+        ),
+        5,
+    );
+    assert!(sink.run_until_drained(10_000));
+    let sink_fairness = sink.core().delivery_fairness().unwrap();
+    assert!(sink_fairness < 0.1, "one sink => fairness ~ 1/36, got {sink_fairness}");
+}
+
+#[test]
+fn fairness_is_none_before_any_delivery() {
+    let topo = Topology::full(Mesh::new(2, 2));
+    let sim = Simulator::new(
+        &topo,
+        SimConfig::tiny(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        sb_sim::NoTraffic,
+        0,
+    );
+    assert_eq!(sim.core().delivery_fairness(), None);
+}

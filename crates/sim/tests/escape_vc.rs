@@ -1,0 +1,142 @@
+//! Focused tests of the escape-VC recovery baseline: escalation mechanics,
+//! escape-network discipline and deadlock-freedom.
+
+use rand::SeedableRng;
+use sb_routing::{MinimalRouting, UpDownRouting};
+use sb_sim::{
+    EscapeVcPlugin, NoTraffic, PacketMode, SimConfig, Simulator, UniformTraffic, VcRef,
+};
+use sb_topology::{FaultKind, FaultModel, Mesh, Topology, DIRECTIONS};
+
+fn cfg_2vc() -> SimConfig {
+    SimConfig {
+        vnets: 1,
+        vcs_per_vnet: 2,
+        max_packet_flits: 5,
+    }
+}
+
+/// Once packets escalate, they sit only in escape VCs and their re-stamped
+/// routes are legal up-down paths.
+#[test]
+fn escaped_packets_obey_the_escape_discipline() {
+    let mesh = Mesh::new(5, 5);
+    let topo = Topology::full(mesh);
+    let updown = UpDownRouting::new(&topo);
+    let mut sim = Simulator::new(
+        &topo,
+        cfg_2vc(),
+        Box::new(MinimalRouting::new(&topo)),
+        EscapeVcPlugin::new(&topo, 8),
+        UniformTraffic::new(0.5).single_vnet(),
+        21,
+    );
+    let mut saw_escape = false;
+    for _ in 0..4_000 {
+        sim.tick();
+        let core = sim.core();
+        for router in core.topology().alive_nodes() {
+            for port in DIRECTIONS {
+                for vc in 0..core.config().vcs_per_port() as u8 {
+                    let r = VcRef { router, port, vc };
+                    let Some(occ) = core.vc(r).occupant() else {
+                        continue;
+                    };
+                    if occ.pkt.mode == PacketMode::Escape {
+                        saw_escape = true;
+                        // Escape packets sit in the escape VC only (once
+                        // they have moved at least one hop after
+                        // escalation, i.e. when their hop index is > 0).
+                        if occ.pkt.hop_index() > 0 {
+                            assert_eq!(
+                                vc,
+                                EscapeVcPlugin::escape_vc(core, occ.pkt.vnet),
+                                "escape packet in a regular VC at {router}"
+                            );
+                        }
+                        // Its remaining route is an up-down legal path.
+                        let remaining = sb_routing::Route::new(
+                            occ.pkt.route().directions()[occ.pkt.hop_index()..].to_vec(),
+                        );
+                        assert!(
+                            updown.is_legal(router, &remaining),
+                            "escape route not up-down legal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(saw_escape, "the load should have triggered escalations");
+    assert!(sim.plugin().escapes() > 0);
+}
+
+/// The escape network never wedges: across seeds and fault patterns, stop
+/// the traffic and everything drains.
+#[test]
+fn escape_vc_drains_across_faulty_topologies() {
+    let mesh = Mesh::new(6, 6);
+    for seed in 0..4u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = FaultModel::new(FaultKind::Links, 10).inject(mesh, &mut rng);
+        let mut sim = Simulator::new(
+            &topo,
+            cfg_2vc(),
+            Box::new(MinimalRouting::new(&topo)),
+            EscapeVcPlugin::new(&topo, 12),
+            UniformTraffic::new(0.35).single_vnet(),
+            seed,
+        );
+        sim.run(2_500);
+        let mut sim = sim.replace_traffic(NoTraffic);
+        assert!(
+            sim.run_until_drained(150_000),
+            "seed {seed}: escape network failed to drain ({} in flight)",
+            sim.core().in_flight()
+        );
+        let s = sim.core().stats();
+        assert_eq!(s.delivered_packets + s.dropped_packets, s.offered_packets);
+    }
+}
+
+/// With a huge threshold nothing escalates and the reserved VC stays empty —
+/// the throughput cost the paper charges escape VCs is real.
+#[test]
+fn reservation_costs_capacity_even_when_unused() {
+    let mesh = Mesh::new(6, 6);
+    let topo = Topology::full(mesh);
+    let run = |reserved: bool| {
+        let stats = if reserved {
+            let mut sim = Simulator::new(
+                &topo,
+                cfg_2vc(),
+                Box::new(MinimalRouting::new(&topo)),
+                EscapeVcPlugin::new(&topo, u64::MAX / 4),
+                UniformTraffic::new(0.25).single_vnet(),
+                9,
+            );
+            sim.warmup(1_000);
+            sim.run(4_000);
+            sim.core().stats().clone()
+        } else {
+            let mut sim = Simulator::new(
+                &topo,
+                cfg_2vc(),
+                Box::new(MinimalRouting::new(&topo)),
+                sb_sim::NullPlugin,
+                UniformTraffic::new(0.25).single_vnet(),
+                9,
+            );
+            sim.warmup(1_000);
+            sim.run(4_000);
+            sim.core().stats().clone()
+        };
+        stats.throughput(36)
+    };
+    let with_reservation = run(true);
+    let without = run(false);
+    assert!(
+        with_reservation < without,
+        "reserving 1 of 2 VCs must cost throughput: {with_reservation} vs {without}"
+    );
+}

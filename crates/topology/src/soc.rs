@@ -1,0 +1,166 @@
+//! Design-time heterogeneous SoC floorplans (the paper's Fig. 1(a) and the
+//! SUNMAP-style generators it cites): big tiles — GPUs, accelerators, DSPs —
+//! occupy rectangular regions of the mesh, removing the routers under them.
+
+use crate::geom::NodeId;
+use crate::mesh::Mesh;
+use crate::topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One heterogeneous tile occupying a rectangle of the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Left column.
+    pub x: u16,
+    /// Bottom row.
+    pub y: u16,
+    /// Width in routers.
+    pub w: u16,
+    /// Height in routers.
+    pub h: u16,
+}
+
+impl Tile {
+    /// Does this tile overlap `other`?
+    pub fn overlaps(&self, other: &Tile) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// The routers covered by the tile.
+    pub fn routers(&self, mesh: Mesh) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity((self.w * self.h) as usize);
+        for y in self.y..self.y + self.h {
+            for x in self.x..self.x + self.w {
+                out.push(mesh.node_at(x, y));
+            }
+        }
+        out
+    }
+}
+
+/// A generated floorplan: the mesh with the tiles carved out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// The substrate.
+    pub mesh: Mesh,
+    /// Placed tiles (non-overlapping).
+    pub tiles: Vec<Tile>,
+}
+
+impl Floorplan {
+    /// Generate a random floorplan: up to `tile_count` non-overlapping
+    /// tiles with side lengths in `2..=max_side`, placed so the surviving
+    /// routers stay connected. Placement attempts that would disconnect the
+    /// topology are discarded, so the result may carry fewer tiles.
+    pub fn generate<R: Rng + ?Sized>(
+        mesh: Mesh,
+        tile_count: usize,
+        max_side: u16,
+        rng: &mut R,
+    ) -> Self {
+        let max_side = max_side.max(2);
+        let mut tiles: Vec<Tile> = Vec::new();
+        let mut topo = Topology::full(mesh);
+        for _ in 0..tile_count * 10 {
+            if tiles.len() == tile_count {
+                break;
+            }
+            let w = rng.gen_range(2..=max_side.min(mesh.width().saturating_sub(1)).max(2));
+            let h = rng.gen_range(2..=max_side.min(mesh.height().saturating_sub(1)).max(2));
+            if w >= mesh.width() || h >= mesh.height() {
+                continue;
+            }
+            let tile = Tile {
+                x: rng.gen_range(0..=mesh.width() - w),
+                y: rng.gen_range(0..=mesh.height() - h),
+                w,
+                h,
+            };
+            if tiles.iter().any(|t| t.overlaps(&tile)) {
+                continue;
+            }
+            let mut candidate = topo.clone();
+            candidate.carve_tile(tile.x, tile.y, tile.w, tile.h);
+            let comps = crate::analysis::connected_components(&candidate);
+            if comps.count() != 1 || candidate.alive_node_count() == 0 {
+                continue; // would disconnect the SoC
+            }
+            topo = candidate;
+            tiles.push(tile);
+        }
+        Floorplan { mesh, tiles }
+    }
+
+    /// The irregular topology of this floorplan.
+    pub fn topology(&self) -> Topology {
+        let mut topo = Topology::full(self.mesh);
+        for t in &self.tiles {
+            topo.carve_tile(t.x, t.y, t.w, t.h);
+        }
+        topo
+    }
+
+    /// Routers removed by the tiles.
+    pub fn carved_routers(&self) -> usize {
+        self.tiles.iter().map(|t| (t.w * t.h) as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiles_do_not_overlap_and_stay_connected() {
+        let mesh = Mesh::new(8, 8);
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan = Floorplan::generate(mesh, 3, 3, &mut rng);
+            for (i, a) in plan.tiles.iter().enumerate() {
+                for b in &plan.tiles[i + 1..] {
+                    assert!(!a.overlaps(b), "seed {seed}: {a:?} overlaps {b:?}");
+                }
+            }
+            let topo = plan.topology();
+            assert_eq!(crate::analysis::connected_components(&topo).count(), 1);
+            assert_eq!(
+                topo.alive_node_count(),
+                64 - plan.carved_routers(),
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = Tile { x: 0, y: 0, w: 2, h: 2 };
+        let b = Tile { x: 1, y: 1, w: 2, h: 2 };
+        let c = Tile { x: 2, y: 0, w: 2, h: 2 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn tile_router_enumeration() {
+        let mesh = Mesh::new(4, 4);
+        let t = Tile { x: 1, y: 2, w: 2, h: 2 };
+        let routers = t.routers(mesh);
+        assert_eq!(routers.len(), 4);
+        assert!(routers.contains(&mesh.node_at(1, 2)));
+        assert!(routers.contains(&mesh.node_at(2, 3)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mesh = Mesh::new(8, 8);
+        let a = Floorplan::generate(mesh, 2, 3, &mut StdRng::seed_from_u64(5));
+        let b = Floorplan::generate(mesh, 2, 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,309 @@
+//! Irregular topologies: a mesh with some routers and/or links absent.
+
+use crate::geom::{Direction, NodeId, DIRECTIONS};
+use crate::mesh::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional mesh link, in canonical orientation (East or North from
+/// `node`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// The endpoint with the lower coordinate.
+    pub node: NodeId,
+    /// `East` or `North`.
+    pub dir: Direction,
+}
+
+impl Link {
+    /// Canonicalize an arbitrary `(node, direction)` pair to the unique
+    /// representative of the bidirectional link, given the mesh.
+    ///
+    /// Returns `None` if the link falls off the mesh edge.
+    pub fn canonical(mesh: Mesh, node: NodeId, dir: Direction) -> Option<Link> {
+        let other = mesh.neighbor(node, dir)?;
+        Some(match dir {
+            Direction::East | Direction::North => Link { node, dir },
+            Direction::West | Direction::South => Link {
+                node: other,
+                dir: dir.opposite(),
+            },
+        })
+    }
+}
+
+/// An irregular topology derived from a [`Mesh`] by disabling routers and
+/// links.
+///
+/// "Disabled" uniformly models the three sources of irregularity in the
+/// paper: heterogeneous tiles carved out at design time, faulty components,
+/// and power-gated components. A link is *usable* only if its link bit is set
+/// **and** both endpoint routers are alive (a dead router takes its ports
+/// with it).
+///
+/// ```
+/// use sb_topology::{Mesh, Topology, Direction};
+/// let mesh = Mesh::new(4, 4);
+/// let mut topo = Topology::full(mesh);
+/// let n = mesh.node_at(1, 1);
+/// topo.remove_link(n, Direction::East);
+/// assert!(!topo.link_alive(n, Direction::East));
+/// assert!(!topo.link_alive(mesh.node_at(2, 1), Direction::West));
+/// topo.remove_router(n);
+/// assert!(!topo.link_alive(n, Direction::North));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    mesh: Mesh,
+    /// Router alive bits, indexed by node id.
+    routers: Vec<bool>,
+    /// Link bits per node per direction (kept symmetric across endpoints).
+    links: Vec<[bool; 4]>,
+}
+
+impl Topology {
+    /// The fully-functional mesh: all routers and links alive.
+    pub fn full(mesh: Mesh) -> Self {
+        let n = mesh.node_count();
+        let mut links = vec![[false; 4]; n];
+        for node in mesh.nodes() {
+            for dir in DIRECTIONS {
+                if mesh.neighbor(node, dir).is_some() {
+                    links[node.index()][dir.index()] = true;
+                }
+            }
+        }
+        Topology {
+            mesh,
+            routers: vec![true; n],
+            links,
+        }
+    }
+
+    /// The underlying mesh substrate.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Is this router alive (present, fault-free and powered)?
+    pub fn router_alive(&self, node: NodeId) -> bool {
+        self.routers[node.index()]
+    }
+
+    /// Is the link out of `node` towards `dir` usable?
+    ///
+    /// Requires the link bit set and both endpoint routers alive; always
+    /// `false` off the mesh edge.
+    pub fn link_alive(&self, node: NodeId, dir: Direction) -> bool {
+        match self.mesh.neighbor(node, dir) {
+            Some(other) => {
+                self.links[node.index()][dir.index()]
+                    && self.routers[node.index()]
+                    && self.routers[other.index()]
+            }
+            None => false,
+        }
+    }
+
+    /// Disable the bidirectional link `(node, dir)`.
+    ///
+    /// Idempotent. Does nothing if the link falls off the mesh edge.
+    pub fn remove_link(&mut self, node: NodeId, dir: Direction) {
+        if let Some(other) = self.mesh.neighbor(node, dir) {
+            self.links[node.index()][dir.index()] = false;
+            self.links[other.index()][dir.opposite().index()] = false;
+        }
+    }
+
+    /// Re-enable the bidirectional link `(node, dir)` (e.g. power-gating
+    /// reversal). Does nothing off the mesh edge.
+    pub fn restore_link(&mut self, node: NodeId, dir: Direction) {
+        if let Some(other) = self.mesh.neighbor(node, dir) {
+            self.links[node.index()][dir.index()] = true;
+            self.links[other.index()][dir.opposite().index()] = true;
+        }
+    }
+
+    /// Disable a router (fault or power-gating). Its links become unusable
+    /// but their bits are preserved, so [`Topology::restore_router`] brings
+    /// them back.
+    pub fn remove_router(&mut self, node: NodeId) {
+        self.routers[node.index()] = false;
+    }
+
+    /// Re-enable a router.
+    pub fn restore_router(&mut self, node: NodeId) {
+        self.routers[node.index()] = true;
+    }
+
+    /// Disable every router inside the rectangle `[x0, x0+w) × [y0, y0+h)`,
+    /// modelling a large heterogeneous tile (accelerator/GPU) that replaces a
+    /// block of mesh routers at design time (Fig. 1(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle does not fit in the mesh.
+    pub fn carve_tile(&mut self, x0: u16, y0: u16, w: u16, h: u16) {
+        assert!(
+            x0 + w <= self.mesh.width() && y0 + h <= self.mesh.height(),
+            "tile rectangle out of mesh"
+        );
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                self.remove_router(self.mesh.node_at(x, y));
+            }
+        }
+    }
+
+    /// Iterate over alive routers.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.mesh.nodes().filter(move |&n| self.router_alive(n))
+    }
+
+    /// Number of alive routers.
+    pub fn alive_node_count(&self) -> usize {
+        self.routers.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate over usable links in canonical orientation.
+    pub fn alive_links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.mesh
+            .links()
+            .filter(move |&(n, d)| self.link_alive(n, d))
+            .map(|(node, dir)| Link { node, dir })
+    }
+
+    /// The alive neighbours of `node` (via usable links), with directions.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (Direction, NodeId)> + '_ {
+        let mesh = self.mesh;
+        DIRECTIONS.into_iter().filter_map(move |d| {
+            if self.link_alive(node, d) {
+                Some((d, mesh.neighbor(node, d).expect("alive link has endpoint")))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Degree of `node` in the surviving graph.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).count()
+    }
+
+    /// Render the topology as ASCII art (routers as `o`/`x`, links as
+    /// `-`/`|`), row `height-1` on top. Handy in examples and failing tests.
+    pub fn ascii_art(&self) -> String {
+        let mesh = self.mesh;
+        let mut out = String::new();
+        for y in (0..mesh.height()).rev() {
+            // Router row.
+            for x in 0..mesh.width() {
+                let n = mesh.node_at(x, y);
+                out.push(if self.router_alive(n) { 'o' } else { 'x' });
+                if x + 1 < mesh.width() {
+                    out.push_str(if self.link_alive(n, Direction::East) {
+                        "--"
+                    } else {
+                        "  "
+                    });
+                }
+            }
+            out.push('\n');
+            // Vertical-link row.
+            if y > 0 {
+                for x in 0..mesh.width() {
+                    let n = mesh.node_at(x, y);
+                    out.push(if self.link_alive(n, Direction::South) {
+                        '|'
+                    } else {
+                        ' '
+                    });
+                    if x + 1 < mesh.width() {
+                        out.push_str("  ");
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_topology_has_all_links() {
+        let mesh = Mesh::new(8, 8);
+        let topo = Topology::full(mesh);
+        assert_eq!(topo.alive_links().count(), mesh.link_count());
+        assert_eq!(topo.alive_node_count(), 64);
+    }
+
+    #[test]
+    fn remove_restore_link_roundtrip() {
+        let mesh = Mesh::new(4, 4);
+        let mut topo = Topology::full(mesh);
+        let n = mesh.node_at(2, 2);
+        topo.remove_link(n, Direction::West);
+        assert!(!topo.link_alive(mesh.node_at(1, 2), Direction::East));
+        topo.restore_link(n, Direction::West);
+        assert_eq!(topo, Topology::full(mesh));
+    }
+
+    #[test]
+    fn dead_router_kills_incident_links_but_restores() {
+        let mesh = Mesh::new(4, 4);
+        let mut topo = Topology::full(mesh);
+        let n = mesh.node_at(1, 1);
+        let full = Topology::full(mesh);
+        topo.remove_router(n);
+        assert_eq!(topo.degree(n), 0);
+        for (_, m) in full.neighbors(n) {
+            assert_eq!(topo.degree(m), full.degree(m) - 1);
+        }
+        topo.restore_router(n);
+        assert_eq!(topo, Topology::full(mesh));
+    }
+
+    #[test]
+    fn edge_links_never_alive() {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::full(mesh);
+        assert!(!topo.link_alive(mesh.node_at(0, 0), Direction::West));
+        assert!(!topo.link_alive(mesh.node_at(3, 3), Direction::North));
+    }
+
+    #[test]
+    fn carve_tile_removes_block() {
+        let mesh = Mesh::new(8, 8);
+        let mut topo = Topology::full(mesh);
+        topo.carve_tile(2, 2, 3, 2);
+        assert_eq!(topo.alive_node_count(), 64 - 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile rectangle out of mesh")]
+    fn carve_tile_out_of_range() {
+        let mesh = Mesh::new(4, 4);
+        Topology::full(mesh).carve_tile(3, 3, 2, 2);
+    }
+
+    #[test]
+    fn canonical_link_identities() {
+        let mesh = Mesh::new(4, 4);
+        let a = mesh.node_at(1, 1);
+        let b = mesh.node_at(2, 1);
+        let l1 = Link::canonical(mesh, a, Direction::East).unwrap();
+        let l2 = Link::canonical(mesh, b, Direction::West).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(Link::canonical(mesh, mesh.node_at(0, 0), Direction::West), None);
+    }
+
+    #[test]
+    fn ascii_art_shape() {
+        let mesh = Mesh::new(3, 2);
+        let art = Topology::full(mesh).ascii_art();
+        assert_eq!(art, "o--o--o\n|  |  |\no--o--o\n");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sb_topology::{
+    connected_components, distances_from, Direction, FaultKind, FaultModel, Mesh, NodeId,
+};
+
+fn arb_mesh() -> impl Strategy<Value = Mesh> {
+    (2u16..10, 2u16..10).prop_map(|(w, h)| Mesh::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn coord_node_roundtrip(mesh in arb_mesh(), id in 0u16..100) {
+        let id = id % mesh.node_count() as u16;
+        let c = mesh.coord(NodeId(id));
+        prop_assert_eq!(mesh.node_at(c.x, c.y), NodeId(id));
+    }
+
+    #[test]
+    fn link_alive_is_symmetric(mesh in arb_mesh(), seed in any::<u64>(), faults in 0usize..20) {
+        let faults = faults.min(mesh.link_count());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng);
+        for n in mesh.nodes() {
+            for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+                if let Some(m) = mesh.neighbor(n, d) {
+                    prop_assert_eq!(topo.link_alive(n, d), topo.link_alive(m, d.opposite()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_alive_nodes(mesh in arb_mesh(), seed in any::<u64>(), faults in 0usize..15) {
+        let faults = faults.min(mesh.node_count() - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = FaultModel::new(FaultKind::Routers, faults).inject(mesh, &mut rng);
+        let comps = connected_components(&topo);
+        let mut seen = 0usize;
+        for c in 0..comps.count() {
+            let members: Vec<_> = comps.members(c).collect();
+            prop_assert!(!members.is_empty());
+            seen += members.len();
+        }
+        prop_assert_eq!(seen, topo.alive_node_count());
+    }
+
+    #[test]
+    fn bfs_distance_triangle_inequality(mesh in arb_mesh(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = mesh.link_count() / 4;
+        let topo = FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng);
+        let src = NodeId(0);
+        let dist = distances_from(&topo, src);
+        // Each reachable node's distance differs by exactly 1 from some alive
+        // neighbour closer to the source (BFS parent property).
+        for n in topo.alive_nodes() {
+            if let Some(dn) = dist[n.index()] {
+                if dn > 0 {
+                    let has_parent = topo
+                        .neighbors(n)
+                        .any(|(_, m)| dist[m.index()] == Some(dn - 1));
+                    prop_assert!(has_parent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_iff_no_cycle(mesh in arb_mesh(), seed in any::<u64>(), frac in 0u8..=100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = mesh.link_count() * frac as usize / 100;
+        let topo = FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng);
+        let v = topo.alive_node_count();
+        let e = topo.alive_links().count();
+        let c = connected_components(&topo).count() as usize;
+        prop_assert_eq!(topo.has_undirected_cycle(), e + c > v);
+        // Euler: e + c >= v always holds for simple graphs... only e >= v - c.
+        prop_assert!(e >= v.saturating_sub(c));
+    }
+
+    #[test]
+    fn manhattan_is_lower_bound_on_hops(mesh in arb_mesh(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = FaultModel::new(FaultKind::Links, mesh.link_count() / 5).inject(mesh, &mut rng);
+        let src = NodeId(0);
+        let dist = distances_from(&topo, src);
+        for n in mesh.nodes() {
+            if let Some(d) = dist[n.index()] {
+                prop_assert!(d >= mesh.manhattan(src, n));
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Additional open-loop synthetic patterns beyond the two in `sb-sim`.
+
+use rand::Rng;
+use sb_sim::{NewPacket, TrafficSource, CTRL_FLITS, DATA_FLITS};
+use sb_topology::{NodeId, Topology};
+
+/// Transpose traffic: node (x, y) sends to (y, x) (square meshes).
+#[derive(Debug, Clone, Copy)]
+pub struct TransposeTraffic {
+    rate: f64,
+}
+
+impl TransposeTraffic {
+    /// Transpose traffic at `rate` flits/node/cycle (50/50 1-flit/5-flit
+    /// mix, single vnet).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0);
+        TransposeTraffic { rate }
+    }
+}
+
+impl TrafficSource for TransposeTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let mesh = topo.mesh();
+        debug_assert_eq!(mesh.width(), mesh.height(), "transpose needs a square mesh");
+        let p = (self.rate / 3.0).min(1.0);
+        let mut out = Vec::new();
+        for src in topo.alive_nodes() {
+            let c = mesh.coord(src);
+            let dst = mesh.node_at(c.y, c.x);
+            if dst == src || !topo.router_alive(dst) {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                let data = rng.gen_bool(0.5);
+                out.push(NewPacket {
+                    src,
+                    dst,
+                    vnet: 0,
+                    len_flits: if data { DATA_FLITS } else { CTRL_FLITS },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Hotspot traffic: a fraction of packets target a small hot set (e.g. the
+/// memory controllers); the rest are uniform random.
+#[derive(Debug, Clone)]
+pub struct HotspotTraffic {
+    rate: f64,
+    hot: Vec<NodeId>,
+    hot_fraction: f64,
+}
+
+impl HotspotTraffic {
+    /// `hot_fraction` of packets go to a uniformly chosen member of `hot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot` is empty or `hot_fraction ∉ [0, 1]`.
+    pub fn new(rate: f64, hot: Vec<NodeId>, hot_fraction: f64) -> Self {
+        assert!(!hot.is_empty(), "hotspot set must be non-empty");
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        HotspotTraffic {
+            rate,
+            hot,
+            hot_fraction,
+        }
+    }
+}
+
+impl TrafficSource for HotspotTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let alive: Vec<NodeId> = topo.alive_nodes().collect();
+        if alive.len() < 2 {
+            return Vec::new();
+        }
+        let p = (self.rate / 3.0).min(1.0);
+        let mut out = Vec::new();
+        for &src in &alive {
+            if !rng.gen_bool(p) {
+                continue;
+            }
+            let dst = if rng.gen_bool(self.hot_fraction) {
+                self.hot[rng.gen_range(0..self.hot.len())]
+            } else {
+                alive[rng.gen_range(0..alive.len())]
+            };
+            if dst == src || !topo.router_alive(dst) {
+                continue;
+            }
+            let data = rng.gen_bool(0.5);
+            out.push(NewPacket {
+                src,
+                dst,
+                vnet: 0,
+                len_flits: if data { DATA_FLITS } else { CTRL_FLITS },
+            });
+        }
+        out
+    }
+}
+
+/// Bit-shuffle traffic: the destination id is the source id rotated left by
+/// one bit (classic permutation stressing different links than transpose).
+#[derive(Debug, Clone, Copy)]
+pub struct ShuffleTraffic {
+    rate: f64,
+}
+
+impl ShuffleTraffic {
+    /// Shuffle traffic at `rate` flits/node/cycle.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0);
+        ShuffleTraffic { rate }
+    }
+}
+
+impl TrafficSource for ShuffleTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let n = topo.mesh().node_count();
+        let bits = usize::BITS - (n - 1).leading_zeros();
+        let p = (self.rate / 3.0).min(1.0);
+        let mut out = Vec::new();
+        for src in topo.alive_nodes() {
+            let s = src.index();
+            let d = ((s << 1) | (s >> (bits - 1))) & (n - 1);
+            let dst = NodeId::from(d.min(n - 1));
+            if dst == src || !topo.router_alive(dst) {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                let data = rng.gen_bool(0.5);
+                out.push(NewPacket {
+                    src,
+                    dst,
+                    vnet: 0,
+                    len_flits: if data { DATA_FLITS } else { CTRL_FLITS },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Near-neighbour traffic: every node talks to one of its alive mesh
+/// neighbours (stencil codes; very light on the bisection).
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborTraffic {
+    rate: f64,
+}
+
+impl NeighborTraffic {
+    /// Neighbour traffic at `rate` flits/node/cycle.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0);
+        NeighborTraffic { rate }
+    }
+}
+
+impl TrafficSource for NeighborTraffic {
+    fn generate(
+        &mut self,
+        _time: u64,
+        topo: &Topology,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<NewPacket> {
+        let p = (self.rate / 3.0).min(1.0);
+        let mut out = Vec::new();
+        for src in topo.alive_nodes() {
+            let neighbors: Vec<NodeId> = topo.neighbors(src).map(|(_, n)| n).collect();
+            if neighbors.is_empty() || !rng.gen_bool(p) {
+                continue;
+            }
+            let dst = neighbors[rng.gen_range(0..neighbors.len())];
+            let data = rng.gen_bool(0.5);
+            out.push(NewPacket {
+                src,
+                dst,
+                vnet: 0,
+                len_flits: if data { DATA_FLITS } else { CTRL_FLITS },
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sb_topology::{Direction, Mesh, Topology};
+
+    #[test]
+    fn transpose_pairs() {
+        let mesh = Mesh::new(6, 6);
+        let topo = Topology::full(mesh);
+        let mut t = TransposeTraffic::new(1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pkts = t.generate(0, &topo, &mut rng);
+        assert!(!pkts.is_empty());
+        for p in pkts {
+            let a = mesh.coord(p.src);
+            let b = mesh.coord(p.dst);
+            assert_eq!((a.x, a.y), (b.y, b.x));
+        }
+    }
+
+    #[test]
+    fn hotspot_bias() {
+        let mesh = Mesh::new(8, 8);
+        let topo = Topology::full(mesh);
+        let hot = vec![mesh.node_at(4, 0)];
+        let mut t = HotspotTraffic::new(1.0, hot.clone(), 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hot_count = 0usize;
+        let mut total = 0usize;
+        for time in 0..200 {
+            for p in t.generate(time, &topo, &mut rng) {
+                total += 1;
+                if p.dst == hot[0] {
+                    hot_count += 1;
+                }
+            }
+        }
+        let frac = hot_count as f64 / total as f64;
+        assert!(frac > 0.6, "hot fraction {frac} too low");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_hot_set_panics() {
+        HotspotTraffic::new(0.1, vec![], 0.5);
+    }
+
+    #[test]
+    fn shuffle_is_a_fixed_permutation() {
+        let mesh = Mesh::new(8, 8);
+        let topo = Topology::full(mesh);
+        let mut t = ShuffleTraffic::new(1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen: std::collections::HashMap<NodeId, NodeId> = Default::default();
+        for time in 0..50 {
+            for p in t.generate(time, &topo, &mut rng) {
+                let prev = seen.insert(p.src, p.dst);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, p.dst, "shuffle destination must be fixed per src");
+                }
+            }
+        }
+        assert!(seen.len() > 30);
+    }
+
+    #[test]
+    fn neighbor_traffic_is_single_hop() {
+        let mesh = Mesh::new(6, 6);
+        let topo = Topology::full(mesh);
+        let mut t = NeighborTraffic::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in t.generate(0, &topo, &mut rng) {
+            assert_eq!(mesh.manhattan(p.src, p.dst), 1);
+        }
+    }
+
+    #[test]
+    fn neighbor_traffic_respects_dead_links() {
+        let mesh = Mesh::new(4, 4);
+        let mut topo = Topology::full(mesh);
+        let isolated = mesh.node_at(1, 1);
+        for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            topo.remove_link(isolated, d);
+        }
+        let mut t = NeighborTraffic::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for time in 0..50 {
+            for p in t.generate(time, &topo, &mut rng) {
+                assert_ne!(p.src, isolated);
+                assert_ne!(p.dst, isolated);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Power-gating scenario: routers are progressively gated off to save
+//! leakage while the chip idles. Static Bubble lets the surviving irregular
+//! topology keep minimal routes (no spanning-tree reconfiguration), and the
+//! energy model shows where the savings come from.
+//!
+//! ```text
+//! cargo run --release --example power_gating
+//! ```
+
+use rand::SeedableRng;
+use static_bubble_repro::core::{placement, StaticBubblePlugin};
+use static_bubble_repro::energy::{EnergyModel, NetworkConfigCost};
+use static_bubble_repro::routing::MinimalRouting;
+use static_bubble_repro::sim::{SimConfig, Simulator, UniformTraffic};
+use static_bubble_repro::topology::{FaultKind, FaultModel, Mesh};
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let model = EnergyModel::dsent_32nm();
+    let cfg = SimConfig::single_vnet();
+    println!("progressive router power-gating on an 8x8 mesh, light traffic (0.05)\n");
+    println!(
+        "{:>9}  {:>9}  {:>11}  {:>11}  {:>9}  {:>9}",
+        "gated", "delivered", "dyn_pJ", "leak_pJ", "total_pJ", "recovered"
+    );
+
+    for gated in [0usize, 4, 8, 16, 24, 32] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let topo = FaultModel::new(FaultKind::Routers, gated).inject(mesh, &mut rng);
+        let bubbles = placement::alive_bubbles(&topo);
+        let mut sim = Simulator::with_bubbles(
+            &topo,
+            cfg,
+            Box::new(MinimalRouting::new(&topo)),
+            StaticBubblePlugin::new(mesh, 34),
+            UniformTraffic::new(0.05).single_vnet(),
+            3,
+            &bubbles,
+        );
+        sim.warmup(500);
+        sim.run(5_000);
+        let s = sim.core().stats();
+        let cost = NetworkConfigCost::for_topology(&topo, cfg.vcs_per_port(), bubbles.len());
+        let b = model.price(s, cost);
+        println!(
+            "{:>9}  {:>9}  {:>11.0}  {:>11.0}  {:>9.0}  {:>9}",
+            gated,
+            s.delivered_packets,
+            b.router_dynamic + b.link_dynamic,
+            b.leakage(),
+            b.total(),
+            s.deadlocks_recovered,
+        );
+    }
+    println!("\nleakage falls as routers gate off; the network stays functional and");
+    println!("minimal-routed throughout — no spanning-tree reconfiguration events.");
+}

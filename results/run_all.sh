@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every committed experiment result. Each binary also accepts
+# --topos/--cycles/... to scale; see EXPERIMENTS.md for the settings used.
+set -e
+cd "$(dirname "$0")/.."
+run() { out="$1"; bin="$2"; shift 2; echo "== $out"; cargo run -p sb-bench --release --bin "$bin" -- "$@" > "results/$out.txt" 2>/dev/null; }
+run fig01     fig01 --topos 20
+run fig02     fig02 --topos 100 --step 5 --csv results/fig02.csv
+run fig02_sim fig02 --topos 20 --step 16 --sim --csv results/fig02_sim.csv
+run fig03     fig03 --topos 40 --csv results/fig03.csv
+run fig04     fig04_placement
+run table1    table1
+run fig08     fig08 --topos 10 --csv results/fig08.csv
+run fig09     fig09 --topos 6 --csv results/fig09.csv
+run fig10     fig10 --topos 8 --csv results/fig10.csv
+run fig11     fig11 --topos 8 --csv results/fig11.csv
+run fig12     fig12 --topos 4 --csv results/fig12.csv
+run fig13     fig13 --topos 3 --csv results/fig13.csv
+run ablation  ablation --topos 6 --csv results/ablation.csv
+run diversity diversity --topos 12 --csv results/diversity.csv
+run scale256  scale256 --csv results/scale256.csv
+run loadsweep loadsweep --csv results/loadsweep.csv
+echo done

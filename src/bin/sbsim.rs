@@ -1,0 +1,177 @@
+//! `sbsim` — drive one simulation from the command line.
+//!
+//! ```text
+//! cargo run --release --bin sbsim -- \
+//!     --design static-bubble --width 8 --height 8 \
+//!     --link-faults 12 --rate 0.15 --cycles 10000 --seed 42 --heatmap
+//! ```
+//!
+//! Designs: `static-bubble` (default), `escape-vc`, `sp-tree` (up-down),
+//! `tree-only`, `none` (no deadlock handling at all — expect a wedge at
+//! high load). Prints the standard stats block and, with `--heatmap`, the
+//! final buffer-occupancy picture.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use static_bubble_repro::core::{placement, StaticBubblePlugin};
+use static_bubble_repro::routing::{MinimalRouting, TreeOnlyRouting, UpDownRouting};
+use static_bubble_repro::sim::{
+    EscapeVcPlugin, NullPlugin, SimConfig, Simulator, Stats, UniformTraffic,
+};
+use static_bubble_repro::topology::{FaultKind, FaultModel, Mesh, Topology};
+
+struct Cli(HashMap<String, String>);
+
+impl Cli {
+    fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if let Some(k) = a.strip_prefix("--") {
+                let v = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                map.insert(k.to_string(), v);
+            }
+        }
+        Cli(map)
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.0
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn report(stats: &Stats, nodes: usize) {
+    println!("delivered packets : {}", stats.delivered_packets);
+    println!("offered packets   : {}", stats.offered_packets);
+    println!("dropped (unreach) : {}", stats.dropped_packets);
+    println!("throughput        : {:.4} flits/node/cycle", stats.throughput(nodes));
+    println!("acceptance        : {:.3}", stats.acceptance());
+    match stats.avg_latency() {
+        Some(l) => println!("avg latency       : {l:.1} cycles (max {})", stats.latency_max),
+        None => println!("avg latency       : n/a"),
+    }
+    println!("probes sent       : {}", stats.probes_sent);
+    println!("deadlocks healed  : {}", stats.deadlocks_recovered);
+}
+
+fn main() {
+    let cli = Cli::parse();
+    if cli.flag("help") {
+        println!(
+            "usage: sbsim [--design static-bubble|escape-vc|sp-tree|tree-only|none]\n\
+             \x20            [--width 8] [--height 8] [--link-faults 0] [--router-faults 0]\n\
+             \x20            [--rate 0.1] [--cycles 10000] [--warmup 1000] [--tdd 34]\n\
+             \x20            [--seed 1] [--heatmap]"
+        );
+        return;
+    }
+    let mesh = Mesh::new(cli.get("width", 8u16), cli.get("height", 8u16));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cli.get("seed", 1u64));
+    let mut topo = Topology::full(mesh);
+    let link_faults: usize = cli.get("link-faults", 0usize);
+    let router_faults: usize = cli.get("router-faults", 0usize);
+    if link_faults > 0 {
+        topo = FaultModel::new(FaultKind::Links, link_faults).inject(mesh, &mut rng);
+    }
+    if router_faults > 0 {
+        use rand::seq::index::sample;
+        for i in sample(&mut rng, mesh.node_count(), router_faults) {
+            topo.remove_router(static_bubble_repro::topology::NodeId::from(i));
+        }
+    }
+    let design = cli.str("design", "static-bubble");
+    let rate = cli.get("rate", 0.1f64);
+    let cycles = cli.get("cycles", 10_000u64);
+    let warmup = cli.get("warmup", 1_000u64);
+    let tdd = cli.get("tdd", 34u64);
+    let seed = cli.get("seed", 1u64);
+    let cfg = SimConfig::single_vnet();
+    let traffic = UniformTraffic::new(rate).single_vnet();
+    let nodes = topo.alive_node_count();
+
+    println!(
+        "== sbsim: {design} on {}x{} mesh, {} alive routers, rate {rate}, {cycles} cycles",
+        mesh.width(),
+        mesh.height(),
+        nodes
+    );
+
+    let heat = |art: String| {
+        println!("final buffer occupancy:\n{art}");
+    };
+    match design.as_str() {
+        "static-bubble" => {
+            let bubbles = placement::alive_bubbles(&topo);
+            println!("static bubbles: {} routers", bubbles.len());
+            let mut sim = Simulator::with_bubbles(
+                &topo,
+                cfg,
+                Box::new(MinimalRouting::new(&topo)),
+                StaticBubblePlugin::new(mesh, tdd),
+                traffic,
+                seed,
+                &bubbles,
+            );
+            sim.warmup(warmup);
+            sim.run(cycles);
+            report(sim.core().stats(), nodes);
+            if cli.flag("heatmap") {
+                heat(sim.core().occupancy_art());
+            }
+        }
+        "escape-vc" => {
+            let mut sim = Simulator::new(
+                &topo,
+                cfg,
+                Box::new(MinimalRouting::new(&topo)),
+                EscapeVcPlugin::new(&topo, tdd),
+                traffic,
+                seed,
+            );
+            sim.warmup(warmup);
+            sim.run(cycles);
+            report(sim.core().stats(), nodes);
+            println!("packets escaped   : {}", sim.plugin().escapes());
+            if cli.flag("heatmap") {
+                heat(sim.core().occupancy_art());
+            }
+        }
+        "sp-tree" | "tree-only" | "none" => {
+            let planner: Box<dyn static_bubble_repro::routing::RouteSource> =
+                match design.as_str() {
+                    "sp-tree" => Box::new(UpDownRouting::new(&topo)),
+                    "tree-only" => Box::new(TreeOnlyRouting::new(&topo)),
+                    _ => Box::new(MinimalRouting::new(&topo)),
+                };
+            let mut sim = Simulator::new(&topo, cfg, planner, NullPlugin, traffic, seed);
+            sim.warmup(warmup);
+            sim.run(cycles);
+            report(sim.core().stats(), nodes);
+            if design == "none" && sim.deadlocked_now() {
+                println!("NOTE: the network is deadlocked (no recovery mechanism attached)");
+            }
+            if cli.flag("heatmap") {
+                heat(sim.core().occupancy_art());
+            }
+        }
+        other => {
+            eprintln!("unknown --design {other}; try --help");
+            std::process::exit(2);
+        }
+    }
+}

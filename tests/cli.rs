@@ -1,0 +1,82 @@
+//! End-to-end test of the `sbsim` CLI binary.
+
+use std::process::Command;
+
+fn sbsim(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sbsim"))
+        .args(args)
+        .output()
+        .expect("sbsim runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, ok) = sbsim(&["--help"]);
+    assert!(ok);
+    assert!(out.contains("usage"));
+    assert!(out.contains("static-bubble"));
+}
+
+#[test]
+fn static_bubble_run_reports_stats() {
+    let (out, ok) = sbsim(&[
+        "--design",
+        "static-bubble",
+        "--rate",
+        "0.1",
+        "--cycles",
+        "1500",
+        "--warmup",
+        "200",
+    ]);
+    assert!(ok);
+    assert!(out.contains("static bubbles: 21 routers"));
+    assert!(out.contains("delivered packets"));
+    assert!(out.contains("throughput"));
+}
+
+#[test]
+fn none_design_wedges_at_high_load() {
+    let (out, ok) = sbsim(&[
+        "--design",
+        "none",
+        "--rate",
+        "0.6",
+        "--cycles",
+        "6000",
+        "--warmup",
+        "0",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(
+        out.contains("deadlocked (no recovery mechanism attached)"),
+        "expected the wedge note, got:\n{out}"
+    );
+}
+
+#[test]
+fn heatmap_renders() {
+    let (out, ok) = sbsim(&[
+        "--design",
+        "sp-tree",
+        "--rate",
+        "0.05",
+        "--cycles",
+        "500",
+        "--heatmap",
+    ]);
+    assert!(ok);
+    assert!(out.contains("final buffer occupancy"));
+}
+
+#[test]
+fn unknown_design_fails_cleanly() {
+    let (_, ok) = sbsim(&["--design", "bogus"]);
+    assert!(!ok);
+}
