@@ -117,6 +117,74 @@ fn bench_bfc(c: &mut Criterion) {
     });
 }
 
+/// Measure the active-router kernel's cycle rate on a 16×16 mesh at the
+/// three occupancy regimes the worklist is built for, and persist the
+/// numbers as `BENCH_kernel.json` at the repo root.
+fn bench_kernel(c: &mut Criterion) {
+    use sb_scenario::{Design, Scenario, TrafficSpec};
+
+    let cases: [(&str, TrafficSpec, u64); 3] = [
+        ("idle", TrafficSpec::Idle, 2_000_000),
+        (
+            "low_load",
+            TrafficSpec::Uniform {
+                rate: 0.02,
+                single_vnet: true,
+            },
+            200_000,
+        ),
+        (
+            "saturated",
+            TrafficSpec::Uniform {
+                rate: 0.6,
+                single_vnet: true,
+            },
+            20_000,
+        ),
+    ];
+    let scenario = |name: &str, traffic: TrafficSpec| {
+        Scenario::new(name, Design::Unprotected)
+            .with_mesh(16, 16)
+            .with_traffic(traffic)
+            .with_seed(5)
+    };
+
+    for (name, traffic, _) in cases {
+        c.bench_function(&format!("kernel/{name}_16x16_1k_cycles"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = scenario(name, traffic).build();
+                    sim.warmup(1_000);
+                    sim
+                },
+                |mut sim| sim.run(1_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // One long steady-state run per regime for the committed artifact.
+    let mut json = String::from(
+        "{\n  \"bench\": \"active_router_kernel\",\n  \"mesh\": \"16x16\",\n  \"cases\": [\n",
+    );
+    for (i, (name, traffic, cycles)) in cases.into_iter().enumerate() {
+        let mut sim = scenario(name, traffic).build();
+        sim.warmup(1_000);
+        let start = std::time::Instant::now();
+        sim.run(cycles);
+        let secs = start.elapsed().as_secs_f64();
+        let rate = cycles as f64 / secs;
+        println!("kernel/{name:<30} {rate:>14.0} cycles/sec ({cycles} cycles)");
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"cycles\": {cycles}, \"seconds\": {secs:.6}, \"cycles_per_sec\": {rate:.0} }}{}\n",
+            if i + 1 < 3 { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
+    std::fs::write(&path, json).expect("write BENCH_kernel.json");
+}
+
 fn bench_oracle(c: &mut Criterion) {
     let topo = Topology::full(Mesh::new(8, 8));
     let mut sim = Simulator::new(
@@ -136,7 +204,7 @@ fn bench_oracle(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_placement, bench_routing, bench_simulator, bench_oracle,
-        bench_tree_and_diversity, bench_bfc
+    targets = bench_placement, bench_routing, bench_simulator, bench_kernel,
+        bench_oracle, bench_tree_and_diversity, bench_bfc
 }
 criterion_main!(benches);

@@ -2,28 +2,55 @@
 //! `DESIGN.md`: probe forking and the check-probe fast path, measured by
 //! recovery effectiveness on staged organic deadlocks.
 
-use sb_bench::{Args, Design, Table};
-use sb_sim::{SimConfig, UniformTraffic};
+use sb_bench::{Args, Design, Scenario, Table};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 use static_bubble::SbOptions;
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "ablation",
         "probe forking and check-probe fast path",
-        &[("topos", "6"), ("cycles", "8000"), ("rate", "0.30"), ("csv", "-")],
+        &[
+            ("topos", "6"),
+            ("cycles", "8000"),
+            ("rate", "0.30"),
+            ("csv", "-"),
+        ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 6);
     let cycles = args.get_u64("cycles", 8_000);
     let rate = args.get_f64("rate", 0.30);
     let mesh = Mesh::new(8, 8);
 
     let variants = [
-        ("full", SbOptions { forking: true, check_probe: true }),
-        ("no-forking", SbOptions { forking: false, check_probe: true }),
-        ("no-check-probe", SbOptions { forking: true, check_probe: false }),
-        ("neither", SbOptions { forking: false, check_probe: false }),
+        (
+            "full",
+            SbOptions {
+                forking: true,
+                check_probe: true,
+            },
+        ),
+        (
+            "no-forking",
+            SbOptions {
+                forking: false,
+                check_probe: true,
+            },
+        ),
+        (
+            "no-check-probe",
+            SbOptions {
+                forking: true,
+                check_probe: false,
+            },
+        ),
+        (
+            "neither",
+            SbOptions {
+                forking: false,
+                check_probe: false,
+            },
+        ),
     ];
 
     let fm = FaultModel::new(FaultKind::Links, 15);
@@ -47,16 +74,14 @@ fn main() {
         let mut recovered = 0u64;
         let mut cp_hops = 0u64;
         for (i, topo) in batch.iter().enumerate() {
-            let out = Design::StaticBubble.run_with_options(
-                topo,
-                SimConfig::single_vnet(),
-                UniformTraffic::new(rate).single_vnet(),
-                700 + i as u64,
-                500,
-                cycles,
-                34,
-                opts,
-            );
+            let out = Scenario::new(name, Design::StaticBubble)
+                .with_rate(rate)
+                .with_seed(700 + i as u64)
+                .with_warmup(500)
+                .with_cycles(cycles)
+                .with_tdd(34)
+                .with_sb_options(opts)
+                .run_on(topo);
             delivered += out.stats.delivered_packets;
             thr += out.stats.throughput(topo.alive_node_count());
             probes += out.stats.probes_sent;
@@ -74,6 +99,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -12,12 +12,11 @@ use sb_routing::MinimalRouting;
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "diversity",
         "minimal-path diversity vs faults",
         &[("topos", "12"), ("cap", "64"), ("csv", "-")],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 12);
     let cap = args.get_u64("cap", 64) as u128;
     let mesh = Mesh::new(8, 8);
@@ -68,6 +67,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

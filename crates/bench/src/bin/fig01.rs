@@ -9,19 +9,24 @@ use sb_routing::{MinimalRouting, RouteSource, TreeOnlyRouting};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig01",
         "worst tree-vs-minimal stretch pairs (the Fig. 1(b) motivation)",
         &[("topos", "20"), ("faults", "10")],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 20);
     let faults = args.get_usize("faults", 10);
     let mesh = Mesh::new(8, 8);
 
     let mut table = Table::new(
         "Worst-stretch pairs: minimal vs via-root tree hops",
-        &["topology_seed", "pair", "minimal_hops", "tree_hops", "stretch"],
+        &[
+            "topology_seed",
+            "pair",
+            "minimal_hops",
+            "tree_hops",
+            "stretch",
+        ],
     );
     let mut overall_worst = (0.0f64, None);
     for seed in 0..topos as u64 {

@@ -12,12 +12,16 @@ use sb_sim::{NullPlugin, SimConfig, Simulator, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig02",
         "% deadlock-prone topologies vs faulty links/routers (8x8)",
-        &[("topos", "100"), ("step", "5"), ("sim", "off"), ("csv", "-")],
+        &[
+            ("topos", "100"),
+            ("step", "5"),
+            ("sim", "off"),
+            ("csv", "-"),
+        ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 100);
     let step = args.get_usize("step", 5);
     let do_sim = args.flag("sim");
@@ -66,6 +70,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -11,12 +11,11 @@ use sb_sim::{NullPlugin, SimConfig, Simulator, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig03",
         "cumulative % of topologies deadlocked vs injection rate and faulty links",
         &[("topos", "40"), ("cycles", "20000"), ("csv", "-")],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 40);
     let cycles = args.get_u64("cycles", 20_000);
     let mesh = Mesh::new(8, 8);
@@ -71,6 +70,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -6,14 +6,22 @@ use sb_topology::Mesh;
 use static_bubble::placement;
 
 fn main() {
-    Args::banner("fig04_placement", "placement map, Eq.1 counts, Lemma check", &[]);
+    let _ = Args::parse_spec(
+        "fig04_placement",
+        "placement map, Eq.1 counts, Lemma check",
+        &[],
+    );
     let mesh = Mesh::new(8, 8);
     println!("# Fig. 4(a): static-bubble placement on an 8x8 mesh ('B' = bubble)");
     for y in (0..8u16).rev() {
         let mut line = String::new();
         for x in 0..8u16 {
             let c = sb_topology::Coord::new(x, y);
-            line.push(if placement::is_static_bubble_node(c) { 'B' } else { '.' });
+            line.push(if placement::is_static_bubble_node(c) {
+                'B'
+            } else {
+                '.'
+            });
             line.push(' ');
         }
         println!("{line}");

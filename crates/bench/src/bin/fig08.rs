@@ -6,24 +6,29 @@
 //! At low load no deadlocks occur, so SB and escape VC perform identically;
 //! both beat the spanning tree because their routes stay minimal.
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
-use sb_sim::{BitComplementTraffic, SimConfig, TrafficSource, UniformTraffic};
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Scenario, Table};
+use sb_scenario::TrafficSpec;
 use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
 
-fn avg_latency<T: TrafficSource>(
+fn avg_latency(
     design: Design,
     topo: &Topology,
-    traffic: T,
+    traffic: TrafficSpec,
     seed: u64,
-    warmup: u64,
     cycles: u64,
 ) -> Option<f64> {
-    let out = design.run(topo, SimConfig::single_vnet(), traffic, seed, warmup, cycles);
-    out.stats.avg_latency()
+    Scenario::new("fig08", design)
+        .with_traffic(traffic)
+        .with_seed(seed)
+        .with_warmup(1_000)
+        .with_cycles(cycles)
+        .run_on(topo)
+        .stats
+        .avg_latency()
 }
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig08",
         "low-load latency normalized to spanning tree",
         &[
@@ -33,7 +38,6 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 10);
     let cycles = args.get_u64("cycles", 4_000);
     let rate = args.get_f64("rate", 0.05);
@@ -72,33 +76,22 @@ fn main() {
                     Design::StaticBubble,
                 ];
                 for (i, topo) in batch.iter().enumerate() {
+                    let traffic = if pattern == "uniform" {
+                        TrafficSpec::Uniform {
+                            rate,
+                            single_vnet: true,
+                        }
+                    } else {
+                        TrafficSpec::BitComplement {
+                            rate,
+                            single_vnet: true,
+                        }
+                    };
                     let lat: Vec<Option<f64>> = designs
                         .iter()
-                        .map(|&d| {
-                            let seed = 100 + i as u64;
-                            if pattern == "uniform" {
-                                avg_latency(
-                                    d,
-                                    topo,
-                                    UniformTraffic::new(rate).single_vnet(),
-                                    seed,
-                                    1_000,
-                                    cycles,
-                                )
-                            } else {
-                                avg_latency(
-                                    d,
-                                    topo,
-                                    BitComplementTraffic::new(rate).single_vnet(),
-                                    seed,
-                                    1_000,
-                                    cycles,
-                                )
-                            }
-                        })
+                        .map(|&d| avg_latency(d, topo, traffic, 100 + i as u64, cycles))
                         .collect();
-                    if let (Some(a), Some(b), Some(c), Some(d2)) =
-                        (lat[0], lat[1], lat[2], lat[3])
+                    if let (Some(a), Some(b), Some(c), Some(d2)) = (lat[0], lat[1], lat[2], lat[3])
                     {
                         sums[0] += a;
                         sums[1] += b;
@@ -128,6 +121,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

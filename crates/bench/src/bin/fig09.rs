@@ -11,7 +11,7 @@ use sb_sim::SimConfig;
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig09",
         "saturation throughput normalized to spanning tree",
         &[
@@ -21,7 +21,6 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 6);
     let window = args.get_u64("window", 6_000);
     let warmup = args.get_u64("warmup", 2_000);
@@ -94,6 +93,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

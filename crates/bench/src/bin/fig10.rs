@@ -8,7 +8,7 @@ use sb_sim::{SimConfig, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig10",
         "network energy breakdown vs power-gated routers",
         &[
@@ -18,7 +18,6 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 8);
     let cycles = args.get_u64("cycles", 6_000);
     let rate = args.get_f64("rate", 0.08);
@@ -82,6 +81,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -2,13 +2,12 @@
 //! with 20 router faults: probes sent over 10K cycles, link utilization per
 //! message class, and average packet latency.
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
-use sb_sim::{SimConfig, SpecialClass, UniformTraffic};
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Scenario, Table};
+use sb_sim::SpecialClass;
 use sb_topology::{FaultKind, FaultModel, Mesh};
-use static_bubble::SbOptions;
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig11",
         "t_DD sweep: probe count and per-class link utilization",
         &[
@@ -18,7 +17,6 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 8);
     let cycles = args.get_u64("cycles", 10_000);
     let rate = args.get_f64("rate", 0.30);
@@ -53,16 +51,13 @@ fn main() {
         let mut recovered = 0u64;
         for (i, topo) in batch.iter().enumerate() {
             let links = topo.alive_links().count() * 2;
-            let out = Design::StaticBubble.run_with_options(
-                topo,
-                SimConfig::single_vnet(),
-                UniformTraffic::new(rate).single_vnet(),
-                400 + i as u64,
-                0,
-                cycles,
-                tdd,
-                SbOptions::default(),
-            );
+            let out = Scenario::new("fig11", Design::StaticBubble)
+                .with_rate(rate)
+                .with_seed(400 + i as u64)
+                .with_warmup(0)
+                .with_cycles(cycles)
+                .with_tdd(tdd)
+                .run_on(topo);
             probes += out.stats.probes_sent as f64;
             recovered += out.stats.deadlocks_recovered;
             for c in SpecialClass::ALL {
@@ -80,7 +75,11 @@ fn main() {
             probes / n,
             [util[0] / n, util[1] / n, util[2] / n, util[3] / n],
             flit_util / n,
-            if lat_n > 0 { lat / lat_n as f64 } else { f64::NAN },
+            if lat_n > 0 {
+                lat / lat_n as f64
+            } else {
+                f64::NAN
+            },
             recovered,
         )
     });
@@ -99,6 +98,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

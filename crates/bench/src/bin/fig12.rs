@@ -2,18 +2,19 @@
 //! kilocycle) for escape-VC and Static Bubble, normalized to the spanning
 //! tree, as link/router faults increase.
 
-use sb_bench::{parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table};
+use sb_bench::{
+    parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table,
+};
 use sb_sim::SimConfig;
 use sb_topology::{FaultKind, Mesh};
 use sb_workloads::{default_memory_controllers, AppTraffic, RodiniaApp};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig12",
         "Rodinia app throughput normalized to spanning tree",
         &[("topos", "4"), ("cycles", "20000"), ("csv", "-")],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 4);
     let cycles = args.get_u64("cycles", 20_000);
     let mesh = Mesh::new(8, 8);
@@ -21,9 +22,7 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 12: Rodinia app throughput (txn/kcycle), normalized to sp-tree",
-        &[
-            "app", "kind", "faults", "sptree", "evc_norm", "sb_norm",
-        ],
+        &["app", "kind", "faults", "sptree", "evc_norm", "sb_norm"],
     );
 
     let fault_points: [(FaultKind, usize); 8] = [
@@ -46,9 +45,11 @@ fn main() {
                 faults,
                 topos,
                 0xF16_0012 + faults as u64,
-                |t| AppTraffic::new(app.profile(), t).is_some() && {
-                    // Keep the paper's filter: MCs must not be disconnected.
-                    sb_workloads::mc::mcs_connected(t, &mcs) || faults == 0
+                |t| {
+                    AppTraffic::new(app.profile(), t).is_some() && {
+                        // Keep the paper's filter: MCs must not be disconnected.
+                        sb_workloads::mc::mcs_connected(t, &mcs) || faults == 0
+                    }
                 },
             );
             if batch.is_empty() {
@@ -88,6 +89,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

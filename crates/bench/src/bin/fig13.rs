@@ -4,14 +4,16 @@
 //! Runtime = cycles to complete a fixed transaction budget per app (the
 //! full-system runtime stand-in); EDP = network energy × runtime.
 
-use sb_bench::{parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table};
+use sb_bench::{
+    parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table,
+};
 use sb_energy::EnergyModel;
 use sb_sim::SimConfig;
 use sb_topology::{FaultKind, Mesh};
 use sb_workloads::{AppTraffic, ParsecApp};
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "fig13",
         "PARSEC runtime and network EDP with 4 link faults",
         &[
@@ -21,7 +23,6 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let topos = args.get_usize("topos", 3);
     let budget = args.get_u64("budget", 3_000);
     let max_cycles = args.get_u64("max-cycles", 400_000);
@@ -66,8 +67,13 @@ fn main() {
                     break;
                 };
                 let traffic = traffic.with_budget(budget);
-                let (finished, _completed, out) =
-                    d.run_app(topo, SimConfig::default(), traffic, 600 + i as u64, max_cycles);
+                let (finished, _completed, out) = d.run_app(
+                    topo,
+                    SimConfig::default(),
+                    traffic,
+                    600 + i as u64,
+                    max_cycles,
+                );
                 let cycles = finished.unwrap_or(max_cycles);
                 rt[k] = cycles as f64;
                 ep[k] = model.edp_runtime(&out.stats, out.cost, cycles);
@@ -99,6 +105,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -2,12 +2,12 @@
 //! for all four designs on one representative irregular topology (the raw
 //! curve whose knees Fig. 9 summarizes).
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
-use sb_sim::{SimConfig, UniformTraffic};
-use sb_topology::{FaultKind, FaultModel, Mesh};
+use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Scenario, Table};
+use sb_scenario::FaultSpec;
+use sb_topology::FaultKind;
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "loadsweep",
         "latency/throughput vs offered load on one faulty topology",
         &[
@@ -17,14 +17,19 @@ fn main() {
             ("csv", "-"),
         ],
     );
-    let args = Args::parse();
     let faults = args.get_usize("faults", 15);
     let seed = args.get_u64("seed", 1);
     let window = args.get_u64("window", 6_000);
-    let mesh = Mesh::new(8, 8);
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let topo = FaultModel::new(FaultKind::Links, faults).inject(mesh, &mut rng);
+    let base = Scenario::new("loadsweep", Design::StaticBubble)
+        .with_faults(FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: faults,
+            seed,
+        })
+        .with_seed(7)
+        .with_warmup(1_500)
+        .with_cycles(window);
+    let topo = base.topology();
     let nodes = topo.alive_node_count();
     let threads = default_threads(&args);
 
@@ -48,14 +53,7 @@ fn main() {
     let rows = parallel_map(rates, threads, |&rate| {
         let mut cells = Vec::with_capacity(8);
         for d in designs {
-            let out = d.run(
-                &topo,
-                SimConfig::single_vnet(),
-                UniformTraffic::new(rate).single_vnet(),
-                7,
-                1_500,
-                window,
-            );
+            let out = base.clone().with_design(d).with_rate(rate).run_on(&topo);
             cells.push(out.stats.avg_latency().unwrap_or(f64::NAN));
             cells.push(out.stats.throughput(nodes));
         }
@@ -74,6 +72,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

@@ -2,18 +2,16 @@
 //! on a 16×16 mesh (Table I), with recovery exercised at deadlock-prone
 //! load on regular and irregular instances.
 
-use sb_bench::{Args, Design, Table};
-use sb_sim::{SimConfig, UniformTraffic};
+use sb_bench::{Args, Design, Scenario, Table};
 use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
 use static_bubble::placement;
 
 fn main() {
-    Args::banner(
+    let args = Args::parse_spec(
         "scale256",
         "16x16 (256-core) placement and recovery scale check",
         &[("cycles", "6000"), ("rate", "0.08"), ("csv", "-")],
     );
-    let args = Args::parse();
     let cycles = args.get_u64("cycles", 6_000);
     let rate = args.get_f64("rate", 0.08);
     let mesh = Mesh::new(16, 16);
@@ -48,16 +46,15 @@ fn main() {
             FaultModel::new(FaultKind::Routers, 20).inject(mesh, &mut rng),
         ),
     ];
+    let base = Scenario::new("scale256", Design::StaticBubble)
+        .with_mesh(16, 16)
+        .with_rate(rate)
+        .with_seed(1)
+        .with_warmup(1_000)
+        .with_cycles(cycles);
     for (name, topo) in &topologies {
         for d in Design::ALL {
-            let out = d.run(
-                topo,
-                SimConfig::single_vnet(),
-                UniformTraffic::new(rate).single_vnet(),
-                1,
-                1_000,
-                cycles,
-            );
+            let out = base.clone().with_design(d).run_on(topo);
             table.row(&[
                 name.clone(),
                 d.label().to_string(),
@@ -70,6 +67,8 @@ fn main() {
     }
     table.print();
     if let Some(path) = args.get_str("csv") {
-        table.write_csv(std::path::Path::new(path)).expect("write csv");
+        table
+            .write_csv(std::path::Path::new(path))
+            .expect("write csv");
     }
 }

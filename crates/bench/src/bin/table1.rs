@@ -7,7 +7,7 @@ use sb_topology::Mesh;
 use static_bubble::placement;
 
 fn main() {
-    Args::banner("table1", "SB vs escape-VC cost comparison", &[]);
+    let _ = Args::parse_spec("table1", "SB vs escape-VC cost comparison", &[]);
     let area = AreaModel::dsent_32nm();
 
     let mut table = Table::new(
@@ -19,7 +19,11 @@ fn main() {
         "deadlock recovery".into(),
         "avoidance or recovery".into(),
     ]);
-    table.row(&["pre-deadlock routes".into(), "minimal".into(), "minimal".into()]);
+    table.row(&[
+        "pre-deadlock routes".into(),
+        "minimal".into(),
+        "minimal".into(),
+    ]);
     table.row(&[
         "post-deadlock routes".into(),
         "minimal".into(),

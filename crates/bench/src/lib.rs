@@ -15,11 +15,11 @@
 //! the settings used for the committed results.
 
 pub mod cli;
-pub mod design;
 pub mod sweep;
 pub mod table;
 
-pub use cli::Args;
-pub use design::{Design, RunOutcome};
+pub use cli::{ArgError, Args};
+pub use sb_scenario::design;
+pub use sb_scenario::{Design, RunOutcome, Scenario};
 pub use sweep::{parallel_map, sample_topologies_filtered, saturation_throughput, SweepPoint};
 pub use table::Table;

@@ -125,8 +125,7 @@ impl Ring {
 
     /// A full ring with no packet at its destination can never move again.
     pub fn is_deadlocked(&self) -> bool {
-        self.occupancy() == self.len()
-            && self.slots.iter().flatten().all(|p| p.remaining > 0)
+        self.occupancy() == self.len() && self.slots.iter().flatten().all(|p| p.remaining > 0)
     }
 
     /// Advance one cycle: eject, rotate, then inject per the policy.
@@ -250,10 +249,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut ring = Ring::new(10, InjectionPolicy::Bubble);
         ring.run(5_000, 0.3, &mut rng);
-        assert_eq!(
-            ring.injected(),
-            ring.delivered() + ring.occupancy() as u64
-        );
+        assert_eq!(ring.injected(), ring.delivered() + ring.occupancy() as u64);
         // Latency at least 1 hop.
         assert!(ring.avg_latency().unwrap() >= 1.0);
     }

@@ -7,11 +7,11 @@
 //! cargo run -p static-bubble --release --example overload_monitor
 //! ```
 
+use rand::SeedableRng;
 use sb_routing::MinimalRouting;
 use sb_sim::{SimConfig, Simulator, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 use static_bubble::{placement, StaticBubblePlugin};
-use rand::SeedableRng;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
@@ -19,12 +19,18 @@ fn main() {
     let topo = FaultModel::new(FaultKind::Links, 15).inject(mesh, &mut rng);
     let bubbles = placement::alive_bubbles(&topo);
     let mut sim = Simulator::with_bubbles(
-        &topo, SimConfig::single_vnet(), Box::new(MinimalRouting::new(&topo)),
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
         StaticBubblePlugin::new(mesh, 34),
-        UniformTraffic::new(0.5).single_vnet(), 1, &bubbles,
+        UniformTraffic::new(0.5).single_vnet(),
+        1,
+        &bubbles,
     );
     static_bubble::plugin::DBG_TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
-    let mut last_del = 0u64; let mut last_ret = 0u64; let mut last_rec = 0u64;
+    let mut last_del = 0u64;
+    let mut last_ret = 0u64;
+    let mut last_rec = 0u64;
     for _ in 0..30 {
         sim.run(1000);
         let s = sim.core().stats().clone();
@@ -34,23 +40,36 @@ fn main() {
             sim.time(), s.delivered_packets - last_del, sim.core().in_flight(), dead,
             sim.plugin().frozen_routers(), s.probes_sent, ret - last_ret,
             s.deadlocks_recovered - last_rec, sim.plugin().in_flight_messages());
-        last_del = s.delivered_packets; last_ret = ret; last_rec = s.deadlocks_recovered;
+        last_del = s.delivered_packets;
+        last_ret = ret;
+        last_rec = s.deadlocks_recovered;
     }
     use std::sync::atomic::Ordering::Relaxed;
-    println!("latches={} disfail(sender)={} d_recov={} d_frozen={} d_valid={}",
+    println!(
+        "latches={} disfail(sender)={} d_recov={} d_frozen={} d_valid={}",
         static_bubble::plugin::DBG_LATCH.load(Relaxed),
         static_bubble::plugin::DBG_DISFAIL.load(Relaxed),
         static_bubble::plugin::DBG_D_RECOV.load(Relaxed),
         static_bubble::plugin::DBG_D_FROZEN.load(Relaxed),
-        static_bubble::plugin::DBG_D_VALID.load(Relaxed));
+        static_bubble::plugin::DBG_D_VALID.load(Relaxed)
+    );
     for (r, io, src) in sim.plugin().frozen_details() {
         let f = sim.plugin().fsm(src);
-        println!("frozen n{} io=({:?},{:?}) source=n{} src_state={:?}",
-            r.0, io.0, io.1, src.0, f.map(|x| x.state));
+        println!(
+            "frozen n{} io=({:?},{:?}) source=n{} src_state={:?}",
+            r.0,
+            io.0,
+            io.1,
+            src.0,
+            f.map(|x| x.state)
+        );
     }
     for b in &bubbles {
         let f = sim.plugin().fsm(*b).unwrap();
-        if !matches!(f.state, static_bubble::FsmState::SOff | static_bubble::FsmState::SDd) {
+        if !matches!(
+            f.state,
+            static_bubble::FsmState::SOff | static_bubble::FsmState::SDd
+        ) {
             let bub = sim.core().bubble(*b).unwrap();
             println!("node {}: {:?} count={} tdr={} bubble_attach={:?} bubble_occupied={} occupant_wants={:?}",
                 b.0, f.state, f.count, f.tdr, bub.attach,

@@ -6,11 +6,11 @@
 //! cargo run -p static-bubble --release --example saturation_sweep
 //! ```
 
+use rand::SeedableRng;
 use sb_routing::MinimalRouting;
 use sb_sim::{NoTraffic, SimConfig, Simulator, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
 use static_bubble::{placement, StaticBubblePlugin};
-use rand::SeedableRng;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
@@ -24,9 +24,13 @@ fn main() {
         let bubbles = placement::alive_bubbles(&topo);
         for rate in [0.10, 0.15, 0.20, 0.25, 0.30, 0.40] {
             let mut sim = Simulator::with_bubbles(
-                &topo, SimConfig::single_vnet(), Box::new(MinimalRouting::new(&topo)),
+                &topo,
+                SimConfig::single_vnet(),
+                Box::new(MinimalRouting::new(&topo)),
                 StaticBubblePlugin::new(mesh, 34),
-                UniformTraffic::new(rate).single_vnet(), 7, &bubbles,
+                UniformTraffic::new(rate).single_vnet(),
+                7,
+                &bubbles,
             );
             sim.warmup(3_000);
             sim.run(15_000);

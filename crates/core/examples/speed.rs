@@ -10,11 +10,21 @@ use sb_sim::{NullPlugin, SimConfig, Simulator, UniformTraffic};
 use sb_topology::{Mesh, Topology};
 fn main() {
     let topo = Topology::full(Mesh::new(8, 8));
-    let mut sim = Simulator::new(&topo, SimConfig::single_vnet(),
-        Box::new(MinimalRouting::new(&topo)), NullPlugin,
-        UniformTraffic::new(0.15).single_vnet(), 1);
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
+        NullPlugin,
+        UniformTraffic::new(0.15).single_vnet(),
+        1,
+    );
     let t0 = std::time::Instant::now();
     sim.run(50_000);
     let dt = t0.elapsed();
-    println!("{} cycles in {:?} = {:.1} kcycles/s", 50_000, dt, 50.0 / dt.as_secs_f64());
+    println!(
+        "{} cycles in {:?} = {:.1} kcycles/s",
+        50_000,
+        dt,
+        50.0 / dt.as_secs_f64()
+    );
 }

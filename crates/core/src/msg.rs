@@ -187,12 +187,7 @@ mod tests {
     #[test]
     fn t_dr_matches_walkthrough() {
         // The walk-through cycle has 6 routers, 5 turns: t_DR = 12.
-        let d = SpecialMsg::with_path(
-            MsgKind::Disable,
-            NodeId(5),
-            0,
-            vec![Turn::Left; 5],
-        );
+        let d = SpecialMsg::with_path(MsgKind::Disable, NodeId(5), 0, vec![Turn::Left; 5]);
         assert_eq!(d.t_dr(), 12);
     }
 }

@@ -224,7 +224,10 @@ mod tests {
         // added column group.
         let base = bubble_count(4, 64);
         let wide = bubble_count(4, 128);
-        assert!(wide <= base * 3, "count should not blow up: {base} -> {wide}");
+        assert!(
+            wide <= base * 3,
+            "count should not blow up: {base} -> {wide}"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ enum Action {
 }
 
 /// Ablation switches for the design choices called out in `DESIGN.md`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SbOptions {
     /// Fork probes toward every wanted output (paper's design). When off,
     /// a probe is forwarded only if all VCs at the input port agree on one
@@ -168,7 +168,10 @@ impl StaticBubblePlugin {
     /// 2 cycles (1-cycle process + 1-cycle link) and its link traversal is
     /// accounted per class.
     fn send(&mut self, core: &mut NetCore, from: NodeId, out: Direction, msg: SpecialMsg) {
-        debug_assert!(core.topology().link_alive(from, out), "special message over dead link");
+        debug_assert!(
+            core.topology().link_alive(from, out),
+            "special message over dead link"
+        );
         let to = core
             .topology()
             .mesh()
@@ -384,7 +387,14 @@ impl StaticBubblePlugin {
                 // Dependence chain confirmed; latch the path and freeze it.
                 if fsm.state == FsmState::SDd && closes_cycle {
                     if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
-                        eprintln!("[{}] latch at n{} in={:?} origin_out={:?} turns={}", core.time(), router.0, in_port, origin_out, msg.turns.len());
+                        eprintln!(
+                            "[{}] latch at n{} in={:?} origin_out={:?} turns={}",
+                            core.time(),
+                            router.0,
+                            in_port,
+                            origin_out,
+                            msg.turns.len()
+                        );
                     }
                     DBG_LATCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     fsm.probe_out = origin_out;
@@ -419,7 +429,15 @@ impl StaticBubblePlugin {
                     .is_some_and(|b| b.slot.occupant().is_none());
                 if !holds || !bubble_free {
                     if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
-                        eprintln!("[{}] disfail at n{} in={:?} probe_out={:?} holds={} bubble_free={}", core.time(), router.0, in_port, out, holds, bubble_free);
+                        eprintln!(
+                            "[{}] disfail at n{} in={:?} probe_out={:?} holds={} bubble_free={}",
+                            core.time(),
+                            router.0,
+                            in_port,
+                            out,
+                            holds,
+                            bubble_free
+                        );
                     }
                     DBG_DISFAIL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return; // timeout will send the enable
@@ -493,9 +511,7 @@ impl StaticBubblePlugin {
                 continue;
             };
             // Move the packet bubble → regular VC (intra-router, no link).
-            let occ = core
-                .bubble_take_occupant(router)
-                .expect("checked occupied");
+            let occ = core.bubble_take_occupant(router).expect("checked occupied");
             core.vc_mut(VcRef {
                 router,
                 port,
@@ -578,8 +594,8 @@ impl StaticBubblePlugin {
                             // would never be probed — livelock. See
                             // DESIGN.md.)
                             let cur = fsm.watching.map(|w| (w.port, w.vc));
-                            fsm.watching = Self::next_occupied_vc(core, router, cur)
-                                .or(fsm.watching);
+                            fsm.watching =
+                                Self::next_occupied_vc(core, router, cur).or(fsm.watching);
                             fsm.probe_backoff = (fsm.probe_backoff + 1).min(5);
                             core.stats_mut().probes_sent += 1;
                             let probe = SpecialMsg::probe(router, vnet);
@@ -591,11 +607,8 @@ impl StaticBubblePlugin {
                         // so detection urgency resets. Point to the next
                         // active VC round-robin, or switch off.
                         fsm.probe_backoff = 0;
-                        match Self::next_occupied_vc(
-                            core,
-                            router,
-                            Some((watched.port, watched.vc)),
-                        ) {
+                        match Self::next_occupied_vc(core, router, Some((watched.port, watched.vc)))
+                        {
                             Some(ptr) => {
                                 fsm.watching = Some(ptr);
                                 fsm.restart_counter();
@@ -745,7 +758,12 @@ impl Plugin for StaticBubblePlugin {
         for (router, mut msgs) in arrivals {
             // Returned messages are consumed first (the FSM has additional
             // control over processing order at its own node).
-            msgs.sort_by_key(|(_, m)| (std::cmp::Reverse(m.kind.priority()), std::cmp::Reverse(m.sender)));
+            msgs.sort_by_key(|(_, m)| {
+                (
+                    std::cmp::Reverse(m.kind.priority()),
+                    std::cmp::Reverse(m.sender),
+                )
+            });
             let mut transit: Vec<(Direction, SpecialMsg)> = Vec::new();
             for (in_port, msg) in msgs {
                 if msg.sender == router {
@@ -766,9 +784,7 @@ impl Plugin for StaticBubblePlugin {
                     let slot = &mut per_out[out.index()];
                     let replace = match slot {
                         None => true,
-                        Some((_, cur_orig, _)) => {
-                            beats(&fwd, cur_orig, &self.prot[router.index()])
-                        }
+                        Some((_, cur_orig, _)) => beats(&fwd, cur_orig, &self.prot[router.index()]),
                     };
                     if replace {
                         if slot.is_some() {
@@ -905,13 +921,11 @@ fn beats(a: &SpecialMsg, b: &SpecialMsg, prot: &ProtState) -> bool {
     match a.kind.priority().cmp(&b.kind.priority()) {
         Ordering::Greater => true,
         Ordering::Less => false,
-        Ordering::Equal => {
-            match (a.kind, b.kind) {
-                (MsgKind::Enable, MsgKind::Disable) => prot.is_deadlock,
-                (MsgKind::Disable, MsgKind::Enable) => !prot.is_deadlock,
-                _ => a.sender > b.sender,
-            }
-        }
+        Ordering::Equal => match (a.kind, b.kind) {
+            (MsgKind::Enable, MsgKind::Disable) => prot.is_deadlock,
+            (MsgKind::Disable, MsgKind::Enable) => !prot.is_deadlock,
+            _ => a.sender > b.sender,
+        },
     }
 }
 
@@ -942,15 +956,43 @@ mod tests {
             ..ProtState::default()
         };
         // Priority classes.
-        assert!(beats(&msg(MsgKind::CheckProbe, 1), &msg(MsgKind::Disable, 9), &free));
-        assert!(beats(&msg(MsgKind::Disable, 1), &msg(MsgKind::Probe, 9), &free));
+        assert!(beats(
+            &msg(MsgKind::CheckProbe, 1),
+            &msg(MsgKind::Disable, 9),
+            &free
+        ));
+        assert!(beats(
+            &msg(MsgKind::Disable, 1),
+            &msg(MsgKind::Probe, 9),
+            &free
+        ));
         // Same kind: higher sender wins.
-        assert!(beats(&msg(MsgKind::Probe, 9), &msg(MsgKind::Probe, 3), &free));
-        assert!(!beats(&msg(MsgKind::Probe, 3), &msg(MsgKind::Probe, 9), &free));
+        assert!(beats(
+            &msg(MsgKind::Probe, 9),
+            &msg(MsgKind::Probe, 3),
+            &free
+        ));
+        assert!(!beats(
+            &msg(MsgKind::Probe, 3),
+            &msg(MsgKind::Probe, 9),
+            &free
+        ));
         // Disable vs enable resolved by the local is_deadlock bit.
-        assert!(beats(&msg(MsgKind::Enable, 1), &msg(MsgKind::Disable, 9), &frozen));
-        assert!(!beats(&msg(MsgKind::Enable, 1), &msg(MsgKind::Disable, 9), &free));
-        assert!(beats(&msg(MsgKind::Disable, 1), &msg(MsgKind::Enable, 9), &free));
+        assert!(beats(
+            &msg(MsgKind::Enable, 1),
+            &msg(MsgKind::Disable, 9),
+            &frozen
+        ));
+        assert!(!beats(
+            &msg(MsgKind::Enable, 1),
+            &msg(MsgKind::Disable, 9),
+            &free
+        ));
+        assert!(beats(
+            &msg(MsgKind::Disable, 1),
+            &msg(MsgKind::Enable, 9),
+            &free
+        ));
     }
 
     #[test]
@@ -976,8 +1018,7 @@ mod tests {
     fn custom_bubble_sets_are_honoured() {
         let mesh = Mesh::new(4, 4);
         let nodes = [NodeId(5), NodeId(10)];
-        let plugin =
-            StaticBubblePlugin::with_bubble_nodes(mesh, 8, SbOptions::default(), &nodes);
+        let plugin = StaticBubblePlugin::with_bubble_nodes(mesh, 8, SbOptions::default(), &nodes);
         assert!(plugin.fsm(NodeId(5)).is_some());
         assert!(plugin.fsm(NodeId(10)).is_some());
         assert!(plugin.fsm(NodeId(6)).is_none());

@@ -86,7 +86,10 @@ fn higher_id_bubble_owns_the_cycle() {
     }
     assert_eq!(sim.core().stats().delivered_packets, 4);
     assert!(high_recovered, "the higher id must run the recovery");
-    assert!(!low_recovered, "the lower id must defer (its probes are dropped)");
+    assert!(
+        !low_recovered,
+        "the lower id must defer (its probes are dropped)"
+    );
 }
 
 /// "What if there are deadlocks in two cycles that are both sharing only

@@ -12,7 +12,13 @@ type SbSim<T> = Simulator<StaticBubblePlugin, T>;
 
 /// Build a Static Bubble simulator over `topo` with detection threshold
 /// `tdd`.
-fn sb_sim<T: sb_sim::TrafficSource>(topo: &Topology, cfg: SimConfig, tdd: u64, traffic: T, seed: u64) -> SbSim<T> {
+fn sb_sim<T: sb_sim::TrafficSource>(
+    topo: &Topology,
+    cfg: SimConfig,
+    tdd: u64,
+    traffic: T,
+    seed: u64,
+) -> SbSim<T> {
     let bubbles = placement::alive_bubbles(topo);
     Simulator::with_bubbles(
         topo,
@@ -36,7 +42,12 @@ fn stage_ring(sim: &mut SbSim<NoTraffic>) -> [NodeId; 4] {
         mesh.node_at(1, 1),
         mesh.node_at(1, 0),
     );
-    let place = |sim: &mut SbSim<NoTraffic>, router: NodeId, port: Direction, id: u64, dst: NodeId, route: Vec<Direction>| {
+    let place = |sim: &mut SbSim<NoTraffic>,
+                 router: NodeId,
+                 port: Direction,
+                 id: u64,
+                 dst: NodeId,
+                 route: Vec<Direction>| {
         let pkt = Packet::new(
             PacketId(id + 1000),
             NewPacket {
@@ -49,7 +60,11 @@ fn stage_ring(sim: &mut SbSim<NoTraffic>) -> [NodeId; 4] {
             0,
         );
         sim.core_mut()
-            .vc_mut(sb_sim::VcRef { router, port, vc: 0 })
+            .vc_mut(sb_sim::VcRef {
+                router,
+                port,
+                vc: 0,
+            })
             .put(sb_sim::OccVc { pkt, ready_at: 0 }, 0);
     };
     place(sim, b, South, 1, d, vec![East, South]);
@@ -75,7 +90,10 @@ fn staged_ring_deadlock_is_fully_recovered() {
     let stats = sim.core().stats().clone();
     assert_eq!(stats.delivered_packets, 4, "all four ring packets deliver");
     assert!(stats.probes_sent >= 1);
-    assert!(stats.deadlocks_recovered >= 1, "recovery must have triggered");
+    assert!(
+        stats.deadlocks_recovered >= 1,
+        "recovery must have triggered"
+    );
     // Let the enable finish circulating, then check that all restrictions
     // are lifted, the bubble is off and the FSM is back to detection/idle.
     sim.run(200);
@@ -267,7 +285,11 @@ fn two_simultaneous_deadlocks_resolve_in_parallel() {
                 0,
             );
             sim.core_mut()
-                .vc_mut(sb_sim::VcRef { router, port, vc: 0 })
+                .vc_mut(sb_sim::VcRef {
+                    router,
+                    port,
+                    vc: 0,
+                })
                 .put(sb_sim::OccVc { pkt, ready_at: 0 }, 0);
         }
     };

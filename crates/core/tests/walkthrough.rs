@@ -24,15 +24,21 @@
 //! — exactly the sequence of Fig. 6(a).
 
 use sb_routing::{MinimalRouting, Route};
-use sb_sim::{
-    NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef,
-};
+use sb_sim::{NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef};
 use sb_topology::{Direction, Mesh, NodeId, Turn};
 use static_bubble::{FsmState, SbOptions, StaticBubblePlugin};
 
 type Sim = Simulator<StaticBubblePlugin, NoTraffic>;
 
-fn place(sim: &mut Sim, router: NodeId, port: Direction, vc: u8, name: char, dst: NodeId, route: Vec<Direction>) {
+fn place(
+    sim: &mut Sim,
+    router: NodeId,
+    port: Direction,
+    vc: u8,
+    name: char,
+    dst: NodeId,
+    route: Vec<Direction>,
+) {
     let pkt = Packet::new(
         PacketId(name as u64),
         NewPacket {
@@ -116,7 +122,13 @@ fn figure6_probe_records_llsll_and_recovery_completes() {
     let turns = latched.expect("probe must return and latch");
     assert_eq!(
         turns,
-        vec![Turn::Left, Turn::Left, Turn::Straight, Turn::Left, Turn::Left],
+        vec![
+            Turn::Left,
+            Turn::Left,
+            Turn::Straight,
+            Turn::Left,
+            Turn::Left
+        ],
         "the latched path must be L,L,S,L,L as in Fig. 6(a)"
     );
     // t_DR = 2 × path length = 2 × 6 routers = 12 (Section IV-A).
@@ -130,13 +142,29 @@ fn figure6_probe_records_llsll_and_recovery_completes() {
         }
     }
     let fsm = sim.plugin().fsm(node5).unwrap();
-    assert_eq!(fsm.state, FsmState::SSbActive, "disable must return and arm the bubble");
-    assert_eq!(fsm.chain_in, Direction::South, "IO-priority in = South (step 12)");
-    assert_eq!(fsm.probe_out, Direction::North, "IO-priority out = North (step 12)");
+    assert_eq!(
+        fsm.state,
+        FsmState::SSbActive,
+        "disable must return and arm the bubble"
+    );
+    assert_eq!(
+        fsm.chain_in,
+        Direction::South,
+        "IO-priority in = South (step 12)"
+    );
+    assert_eq!(
+        fsm.probe_out,
+        Direction::North,
+        "IO-priority out = North (step 12)"
+    );
     // All six routers of the chain are frozen.
     assert_eq!(sim.plugin().frozen_routers(), 6);
     let bubble = sim.core().bubble(node5).unwrap();
-    assert_eq!(bubble.attach, Some((Direction::South, 0)), "bubble serves the chain port");
+    assert_eq!(
+        bubble.attach,
+        Some((Direction::South, 0)),
+        "bubble serves the chain port"
+    );
 
     // --- Recovery: the ring advances through the bubble ----------------
     assert!(
@@ -152,11 +180,22 @@ fn figure6_probe_records_llsll_and_recovery_completes() {
     // --- Check-probe and enable (Fig. 6(c)/(d)) ------------------------
     // Let the enable finish circulating, then the state must be pristine.
     sim.run(200);
-    assert_eq!(sim.plugin().frozen_routers(), 0, "enable clears every router");
+    assert_eq!(
+        sim.plugin().frozen_routers(),
+        0,
+        "enable clears every router"
+    );
     let fsm = sim.plugin().fsm(node5).unwrap();
     assert!(matches!(fsm.state, FsmState::SOff | FsmState::SDd));
-    assert!(sim.core().bubble(node5).unwrap().attach.is_none(), "bubble off");
-    assert_eq!(sim.plugin().in_flight_messages(), 0, "no stray special messages");
+    assert!(
+        sim.core().bubble(node5).unwrap().attach.is_none(),
+        "bubble off"
+    );
+    assert_eq!(
+        sim.plugin().in_flight_messages(),
+        0,
+        "no stray special messages"
+    );
     // Check-probes were used in the recovery loop (footnote 7 fast path).
     assert!(
         stats.special_link_flits[sb_sim::SpecialClass::CheckProbe.index()] > 0,
@@ -176,7 +215,11 @@ fn figure6_one_free_buffer_resolves_the_ring_by_itself() {
     let n9 = sb_topology::Mesh::new(4, 4).node_at(1, 2);
     let taken = sim
         .core_mut()
-        .vc_mut(VcRef { router: n9, port: Direction::South, vc: 1 })
+        .vc_mut(VcRef {
+            router: n9,
+            port: Direction::South,
+            vc: 1,
+        })
         .take(0);
     assert_eq!(taken.pkt.id, PacketId('Z' as u64));
     assert!(!sim.deadlocked_now(), "one hole makes the ring live");

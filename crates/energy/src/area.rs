@@ -97,7 +97,10 @@ mod tests {
         let (sp, sb, evc) = model.network_comparison(64, 48, 3 * 4, 21);
         let sb_overhead = AreaModel::overhead_pct(sp, sb);
         let evc_overhead = AreaModel::overhead_pct(sp, evc);
-        assert!(sb_overhead < 1.0, "SB overhead {sb_overhead:.2}% should be <1%");
+        assert!(
+            sb_overhead < 1.0,
+            "SB overhead {sb_overhead:.2}% should be <1%"
+        );
         assert!(
             (10.0..30.0).contains(&evc_overhead),
             "escape VC overhead {evc_overhead:.1}% should be ≈18%"

@@ -233,7 +233,11 @@ mod tests {
             seen.insert(routing.route(a, b, &mut rng).unwrap());
         }
         // 20 distinct minimal paths exist; sampling 200 should find many.
-        assert!(seen.len() > 5, "only {} distinct minimal routes", seen.len());
+        assert!(
+            seen.len() > 5,
+            "only {} distinct minimal routes",
+            seen.len()
+        );
         assert!(seen.iter().all(|r| r.hops() == 6));
     }
 
@@ -244,7 +248,10 @@ mod tests {
         topo.remove_link(mesh.node_at(1, 0), Direction::East);
         let routing = MinimalRouting::new(&topo);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(routing.route(mesh.node_at(0, 0), mesh.node_at(3, 0), &mut rng), None);
+        assert_eq!(
+            routing.route(mesh.node_at(0, 0), mesh.node_at(3, 0), &mut rng),
+            None
+        );
         assert!(!routing.is_reachable(mesh.node_at(0, 0), mesh.node_at(3, 0)));
     }
 
@@ -253,7 +260,12 @@ mod tests {
         let mesh = Mesh::new(8, 8);
         let routing = MinimalRouting::new(&Topology::full(mesh));
         // (a+b choose a) staircase counts.
-        let cases = [((0u16, 0u16), (1u16, 0u16), 1u128), ((0, 0), (1, 1), 2), ((0, 0), (2, 2), 6), ((0, 0), (7, 7), 3432)];
+        let cases = [
+            ((0u16, 0u16), (1u16, 0u16), 1u128),
+            ((0, 0), (1, 1), 2),
+            ((0, 0), (2, 2), 6),
+            ((0, 0), (7, 7), 3432),
+        ];
         for ((ax, ay), (bx, by), expect) in cases {
             assert_eq!(
                 routing.minimal_path_count(mesh.node_at(ax, ay), mesh.node_at(bx, by)),
@@ -285,7 +297,9 @@ mod tests {
         let mesh = Mesh::new(3, 3);
         let routing = MinimalRouting::new(&Topology::full(mesh));
         let mut rng = StdRng::seed_from_u64(0);
-        let r = routing.route(mesh.node_at(1, 1), mesh.node_at(1, 1), &mut rng).unwrap();
+        let r = routing
+            .route(mesh.node_at(1, 1), mesh.node_at(1, 1), &mut rng)
+            .unwrap();
         assert_eq!(r.hops(), 0);
     }
 }

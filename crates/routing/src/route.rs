@@ -1,6 +1,5 @@
 //! Source routes: the hop-by-hop port sequence a packet carries.
 
-
 use sb_topology::{Direction, NodeId, Topology, Turn};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -143,7 +142,10 @@ mod tests {
         let mesh = Mesh::new(3, 3);
         let topo = Topology::full(mesh);
         let route = Route::default();
-        assert_eq!(route.trace(&topo, mesh.node_at(1, 1)), Some(mesh.node_at(1, 1)));
+        assert_eq!(
+            route.trace(&topo, mesh.node_at(1, 1)),
+            Some(mesh.node_at(1, 1))
+        );
         assert_eq!(route.to_string(), "·");
     }
 

@@ -42,9 +42,7 @@ impl TreeOnlyRouting {
                 RootPolicy::Center => topo
                     .center_of_component(&components, c)
                     .expect("non-empty component"),
-                RootPolicy::Arbitrary => {
-                    components.members(c).next().expect("non-empty component")
-                }
+                RootPolicy::Arbitrary => components.members(c).next().expect("non-empty component"),
             };
             // BFS assigning parents.
             depth[root.index()] = Some(0);

@@ -15,7 +15,9 @@
 
 use crate::route::{Route, RouteSource};
 
-use sb_topology::{connected_components, distances_from, ComponentMap, Direction, NodeId, Topology, DIRECTIONS};
+use sb_topology::{
+    connected_components, distances_from, ComponentMap, Direction, NodeId, Topology, DIRECTIONS,
+};
 
 /// How the spanning-tree root of each component is chosen.
 ///
@@ -243,8 +245,12 @@ mod tests {
         }
         let routing = UpDownRouting::new(&topo);
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(routing.route(mesh.node_at(0, 0), mesh.node_at(1, 1), &mut rng).is_some());
-        assert!(routing.route(mesh.node_at(0, 0), mesh.node_at(2, 0), &mut rng).is_none());
+        assert!(routing
+            .route(mesh.node_at(0, 0), mesh.node_at(1, 1), &mut rng)
+            .is_some());
+        assert!(routing
+            .route(mesh.node_at(0, 0), mesh.node_at(2, 0), &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -323,6 +329,9 @@ mod tests {
                 }
             }
         }
-        assert!(stretched > 0, "up-down should stretch some pairs on irregular topologies");
+        assert!(
+            stretched > 0,
+            "up-down should stretch some pairs on irregular topologies"
+        );
     }
 }

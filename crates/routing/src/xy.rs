@@ -124,8 +124,13 @@ mod tests {
         let xy = XyRouting::new(&topo);
         let mut rng = StdRng::seed_from_u64(0);
         // (0,0) -> (3,0) must go straight east through the dead link.
-        assert_eq!(xy.route(mesh.node_at(0, 0), mesh.node_at(3, 0), &mut rng), None);
+        assert_eq!(
+            xy.route(mesh.node_at(0, 0), mesh.node_at(3, 0), &mut rng),
+            None
+        );
         // But an unaffected pair still routes.
-        assert!(xy.route(mesh.node_at(0, 1), mesh.node_at(3, 1), &mut rng).is_some());
+        assert!(xy
+            .route(mesh.node_at(0, 1), mesh.node_at(3, 1), &mut rng)
+            .is_some());
     }
 }

@@ -1,19 +1,25 @@
-//! The three evaluated designs (Section V-B) behind one interface.
+//! The evaluated designs (Section V-B) behind one interface.
+//!
+//! Lived in `sb-bench` originally; moved here so a serialized [`Scenario`]
+//! (`crate::Scenario`) can name its deadlock design and so the per-figure
+//! binaries assemble simulations through one place.
 
 use sb_energy::NetworkConfigCost;
 use sb_routing::{MinimalRouting, RouteSource, TreeOnlyRouting, UpDownRouting};
-use sb_sim::{
-    EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator, Stats, TrafficSource,
-};
+use sb_sim::{NoTraffic, SimConfig, Stats, TrafficSource};
 use sb_topology::Topology;
 use sb_workloads::AppTraffic;
-use static_bubble::{placement, SbOptions, StaticBubblePlugin};
+use serde::{Deserialize, Serialize};
+use static_bubble::{placement, SbOptions};
+
+use crate::runner::SimRunner;
+use crate::spec::Scenario;
 
 /// The deadlock-detection threshold used across experiments (Table II).
 pub const T_DD: u64 = 34;
 
 /// One evaluated design point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Design {
     /// Deadlock avoidance: all packets carry deadlock-free up*/down* routes.
     SpanningTree,
@@ -27,20 +33,37 @@ pub enum Design {
     EscapeVc,
     /// The paper's contribution.
     StaticBubble,
+    /// No deadlock handling at all: minimal routes, no recovery mechanism.
+    /// Not a paper design point — the `sbsim` CLI's `none` mode, useful for
+    /// demonstrating the wedge the other designs exist to prevent.
+    Unprotected,
 }
 
 impl Design {
-    /// All three, in the paper's plotting order.
+    /// All three paper designs, in the paper's plotting order.
     pub const ALL: [Design; 3] = [Design::SpanningTree, Design::EscapeVc, Design::StaticBubble];
 
-    /// Short label used in tables.
+    /// Short label used in tables and on the `sbsim` command line.
     pub fn label(self) -> &'static str {
         match self {
             Design::SpanningTree => "sp-tree",
             Design::TreeOnly => "tree-only",
             Design::EscapeVc => "escape-vc",
             Design::StaticBubble => "static-bubble",
+            Design::Unprotected => "none",
         }
+    }
+
+    /// Inverse of [`Design::label`].
+    pub fn from_label(label: &str) -> Option<Design> {
+        Some(match label {
+            "sp-tree" => Design::SpanningTree,
+            "tree-only" => Design::TreeOnly,
+            "escape-vc" => Design::EscapeVc,
+            "static-bubble" => Design::StaticBubble,
+            "none" => Design::Unprotected,
+            _ => return None,
+        })
     }
 
     /// The hardware inventory for energy/area pricing: the escape-VC design
@@ -48,14 +71,12 @@ impl Design {
     /// Static Bubble adds one buffer at each alive placement router.
     pub fn cost(self, topo: &Topology, cfg: SimConfig) -> NetworkConfigCost {
         match self {
-            Design::SpanningTree | Design::TreeOnly => {
+            Design::SpanningTree | Design::TreeOnly | Design::Unprotected => {
                 NetworkConfigCost::for_topology(topo, cfg.vcs_per_port(), 0)
             }
-            Design::EscapeVc => NetworkConfigCost::for_topology(
-                topo,
-                cfg.vcs_per_port() + cfg.vnets as usize,
-                0,
-            ),
+            Design::EscapeVc => {
+                NetworkConfigCost::for_topology(topo, cfg.vcs_per_port() + cfg.vnets as usize, 0)
+            }
             Design::StaticBubble => NetworkConfigCost::for_topology(
                 topo,
                 cfg.vcs_per_port(),
@@ -64,7 +85,8 @@ impl Design {
         }
     }
 
-    fn planner(self, topo: &Topology) -> Box<dyn RouteSource> {
+    /// The route planner this design injects packets with.
+    pub fn planner(self, topo: &Topology) -> Box<dyn RouteSource> {
         match self {
             Design::SpanningTree => Box::new(UpDownRouting::new(topo)),
             Design::TreeOnly => Box::new(TreeOnlyRouting::new(topo)),
@@ -74,7 +96,7 @@ impl Design {
 
     /// Run `traffic` over `topo` for `warmup + cycles` cycles and return the
     /// measurement-window statistics.
-    pub fn run<T: TrafficSource>(
+    pub fn run<T: TrafficSource + 'static>(
         self,
         topo: &Topology,
         cfg: SimConfig,
@@ -83,13 +105,26 @@ impl Design {
         warmup: u64,
         cycles: u64,
     ) -> RunOutcome {
-        self.run_with_options(topo, cfg, traffic, seed, warmup, cycles, T_DD, SbOptions::default())
+        self.run_with_options(
+            topo,
+            cfg,
+            traffic,
+            seed,
+            warmup,
+            cycles,
+            T_DD,
+            SbOptions::default(),
+        )
     }
 
     /// As [`Design::run`], exposing the detection threshold and ablation
     /// options (only meaningful for [`Design::StaticBubble`]).
+    ///
+    /// Assembled through the [`Scenario`] builder, so every experiment —
+    /// including the generic-traffic ones that cannot be written down as a
+    /// serialized spec — goes through the same construction path.
     #[allow(clippy::too_many_arguments)]
-    pub fn run_with_options<T: TrafficSource>(
+    pub fn run_with_options<T: TrafficSource + 'static>(
         self,
         topo: &Topology,
         cfg: SimConfig,
@@ -100,53 +135,26 @@ impl Design {
         tdd: u64,
         opts: SbOptions,
     ) -> RunOutcome {
-        let planner = self.planner(topo);
-        let stats = match self {
-            Design::SpanningTree | Design::TreeOnly => {
-                let mut sim = Simulator::new(topo, cfg, planner, NullPlugin, traffic, seed);
-                sim.warmup(warmup);
-                sim.run(cycles);
-                sim.core().stats().clone()
-            }
-            Design::EscapeVc => {
-                let mut sim = Simulator::new(
-                    topo,
-                    cfg,
-                    planner,
-                    EscapeVcPlugin::new(topo, tdd),
-                    traffic,
-                    seed,
-                );
-                sim.warmup(warmup);
-                sim.run(cycles);
-                sim.core().stats().clone()
-            }
-            Design::StaticBubble => {
-                let bubbles = placement::alive_bubbles(topo);
-                let mut sim = Simulator::with_bubbles(
-                    topo,
-                    cfg,
-                    planner,
-                    StaticBubblePlugin::with_options(topo.mesh(), tdd, opts),
-                    traffic,
-                    seed,
-                    &bubbles,
-                );
-                sim.warmup(warmup);
-                sim.run(cycles);
-                sim.core().stats().clone()
-            }
-        };
+        let scenario = Scenario::new("design-run", self)
+            .with_config(cfg)
+            .with_seed(seed)
+            .with_warmup(warmup)
+            .with_cycles(cycles)
+            .with_tdd(tdd)
+            .with_sb_options(opts);
+        let mut runner = scenario.build_with(topo, traffic);
+        runner.warmup(warmup);
+        runner.run(cycles);
         RunOutcome {
             design: self,
             cost: self.cost(topo, cfg),
-            stats,
+            stats: runner.stats().clone(),
         }
     }
 
     /// Run a closed-loop application to completion (or `max_cycles`).
-    /// Returns `(runtime, outcome)`: `runtime` is `None` if the budget did
-    /// not finish (counts as the maximum for runtime comparisons).
+    /// Returns `(runtime, completed, outcome)`: `runtime` is `None` if the
+    /// budget did not finish (counts as the maximum for runtime comparisons).
     pub fn run_app(
         self,
         topo: &Topology,
@@ -155,54 +163,31 @@ impl Design {
         seed: u64,
         max_cycles: u64,
     ) -> (Option<u64>, u64, RunOutcome) {
-        macro_rules! drive {
-            ($sim:expr) => {{
-                let mut sim = $sim;
-                let mut runtime = None;
-                while sim.time() < max_cycles {
-                    sim.run(256);
-                    if sim.traffic().finished() && sim.core().in_flight() == 0 {
-                        runtime = Some(sim.time());
-                        break;
-                    }
-                }
-                let completed = sim.traffic().completed();
-                (runtime, completed, sim.core().stats().clone())
-            }};
+        let scenario = Scenario::new("design-run-app", self)
+            .with_config(cfg)
+            .with_seed(seed);
+        let mut runner = scenario.build_with(topo, app);
+        fn app_of(r: &dyn SimRunner) -> &AppTraffic {
+            r.traffic_any()
+                .downcast_ref::<AppTraffic>()
+                .expect("run_app drives AppTraffic")
         }
-        let planner = self.planner(topo);
-        let (runtime, completed, stats) = match self {
-            Design::SpanningTree | Design::TreeOnly => {
-                drive!(Simulator::new(topo, cfg, planner, NullPlugin, app, seed))
+        let mut runtime = None;
+        while runner.time() < max_cycles {
+            runner.run(256);
+            if app_of(&*runner).finished() && runner.core().in_flight() == 0 {
+                runtime = Some(runner.time());
+                break;
             }
-            Design::EscapeVc => drive!(Simulator::new(
-                topo,
-                cfg,
-                planner,
-                EscapeVcPlugin::new(topo, T_DD),
-                app,
-                seed
-            )),
-            Design::StaticBubble => {
-                let bubbles = placement::alive_bubbles(topo);
-                drive!(Simulator::with_bubbles(
-                    topo,
-                    cfg,
-                    planner,
-                    StaticBubblePlugin::new(topo.mesh(), T_DD),
-                    app,
-                    seed,
-                    &bubbles
-                ))
-            }
-        };
+        }
+        let completed = app_of(&*runner).completed();
         (
             runtime,
             completed,
             RunOutcome {
                 design: self,
                 cost: self.cost(topo, cfg),
-                stats,
+                stats: runner.stats().clone(),
             },
         )
     }
@@ -210,9 +195,12 @@ impl Design {
     /// Drain helper for experiments that need an empty network between
     /// phases; returns whether the drain completed.
     pub fn drain_probe(self, topo: &Topology, cfg: SimConfig, seed: u64, cycles: u64) -> bool {
-        let planner = self.planner(topo);
-        let mut sim = Simulator::new(topo, cfg, planner, NullPlugin, NoTraffic, seed);
-        sim.run_until_drained(cycles)
+        let scenario = Scenario::new("drain-probe", self)
+            .with_config(cfg)
+            .with_seed(seed);
+        scenario
+            .build_with(topo, NoTraffic)
+            .run_until_drained(cycles)
     }
 }
 
@@ -271,5 +259,19 @@ mod tests {
             Design::StaticBubble.run_app(&topo, SimConfig::default(), app, 5, 300_000);
         assert_eq!(completed, 200);
         assert!(runtime.is_some());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for d in [
+            Design::SpanningTree,
+            Design::TreeOnly,
+            Design::EscapeVc,
+            Design::StaticBubble,
+            Design::Unprotected,
+        ] {
+            assert_eq!(Design::from_label(d.label()), Some(d));
+        }
+        assert_eq!(Design::from_label("bogus"), None);
     }
 }

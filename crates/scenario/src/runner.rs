@@ -1,0 +1,92 @@
+//! Type-erased handle over a running [`sb_sim::Simulator`].
+//!
+//! `Simulator<P, T>` is generic over its deadlock plugin and traffic source,
+//! which is exactly right for the hot loop and exactly wrong for an
+//! experiment layer that decides both at runtime from a spec. [`SimRunner`]
+//! erases the two parameters behind one object-safe interface; the concrete
+//! plugin/traffic are still reachable through [`SimRunner::plugin_any`] /
+//! [`SimRunner::traffic_any`] for design-specific reporting (escape counts,
+//! closed-loop completion).
+
+use std::any::Any;
+
+use sb_sim::{EscapeVcPlugin, NetCore, Plugin, Simulator, Stats, TrafficSource};
+
+/// A live simulation, abstracted over plugin and traffic types.
+pub trait SimRunner {
+    /// Current simulation time.
+    fn time(&self) -> u64;
+    /// Run `cycles` cycles then reset the measurement window.
+    fn warmup(&mut self, cycles: u64);
+    /// Run `cycles` cycles.
+    fn run(&mut self, cycles: u64);
+    /// Stop injection and run until the network empties (or `max_cycles`
+    /// elapse); `true` if it drained.
+    fn run_until_drained(&mut self, max_cycles: u64) -> bool;
+    /// Measurement-window statistics.
+    fn stats(&self) -> &Stats;
+    /// The network state (occupancy art, in-flight count, ...).
+    fn core(&self) -> &NetCore;
+    /// Does the deadlock oracle flag the current state?
+    fn deadlocked_now(&self) -> bool;
+    /// Toggle the reference full-sweep kernel (A/B testing the worklist).
+    fn scan_all_routers(&mut self, enable: bool);
+    /// The deadlock plugin, type-erased; downcast to the concrete type.
+    fn plugin_any(&self) -> &dyn Any;
+    /// The traffic source, type-erased; downcast to the concrete type.
+    fn traffic_any(&self) -> &dyn Any;
+
+    /// Packets that escaped through reserved VCs, if this is an escape-VC
+    /// simulation.
+    fn escapes(&self) -> Option<u64> {
+        self.plugin_any()
+            .downcast_ref::<EscapeVcPlugin>()
+            .map(|p| p.escapes())
+    }
+}
+
+/// The one [`SimRunner`] implementation: a thin wrapper around the generic
+/// simulator.
+pub(crate) struct Runner<P: Plugin, T: TrafficSource>(pub(crate) Simulator<P, T>);
+
+impl<P: Plugin + 'static, T: TrafficSource + 'static> SimRunner for Runner<P, T> {
+    fn time(&self) -> u64 {
+        self.0.time()
+    }
+
+    fn warmup(&mut self, cycles: u64) {
+        self.0.warmup(cycles);
+    }
+
+    fn run(&mut self, cycles: u64) {
+        self.0.run(cycles);
+    }
+
+    fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        self.0.run_until_drained(max_cycles)
+    }
+
+    fn stats(&self) -> &Stats {
+        self.0.core().stats()
+    }
+
+    fn core(&self) -> &NetCore {
+        self.0.core()
+    }
+
+    fn deadlocked_now(&self) -> bool {
+        self.0.deadlocked_now()
+    }
+
+    fn scan_all_routers(&mut self, enable: bool) {
+        self.0.scan_all_routers(enable);
+    }
+
+    fn plugin_any(&self) -> &dyn Any {
+        self.0.plugin()
+    }
+
+    fn traffic_any(&self) -> &dyn Any {
+        self.0.traffic()
+    }
+}

@@ -1,0 +1,435 @@
+//! The serializable experiment description and its materializer.
+//!
+//! A [`Scenario`] is plain data: mesh dimensions, a fault model and seed, a
+//! deadlock [`Design`], a traffic pattern and rate, network configuration
+//! and measurement window. It round-trips through serde (see [`crate::json`]
+//! and [`crate::toml`]) so one text file fully describes an experiment, and
+//! [`Scenario::build`] turns it into a live simulation behind the
+//! [`SimRunner`] interface.
+
+use rand::SeedableRng;
+use sb_sim::{
+    BitComplementTraffic, EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator,
+    TrafficSource, UniformTraffic,
+};
+use sb_topology::{FaultKind, FaultModel, Mesh, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use static_bubble::{placement, SbOptions, StaticBubblePlugin};
+
+use crate::design::{Design, RunOutcome, T_DD};
+use crate::runner::{Runner, SimRunner};
+
+/// How the irregular topology is derived from the full mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Pristine mesh: every router and link alive.
+    Pristine,
+    /// Seeded [`FaultModel`] injection of `count` faults of one kind.
+    Model {
+        /// Fault class (links or routers).
+        kind: FaultKind,
+        /// Number of faults to inject.
+        count: usize,
+        /// RNG seed for the injection.
+        seed: u64,
+    },
+    /// `sbsim`-style mix: link faults first, then router kills sampled from
+    /// the same RNG stream.
+    Mixed {
+        /// Links to fault via [`FaultModel`].
+        links: usize,
+        /// Routers to kill.
+        routers: usize,
+        /// RNG seed shared by both phases.
+        seed: u64,
+    },
+}
+
+/// Where the static bubbles sit (only meaningful for
+/// [`Design::StaticBubble`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BubbleSpec {
+    /// The paper's placement, restricted to alive routers.
+    Auto,
+    /// An explicit router list (placement studies, adversarial tests).
+    Explicit(Vec<NodeId>),
+}
+
+/// The synthetic traffic a scenario offers the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// No injected traffic (drain studies).
+    Idle,
+    /// Uniform-random destinations at `rate` flits/node/cycle.
+    Uniform {
+        /// Offered load in flits/node/cycle.
+        rate: f64,
+        /// Confine all packets to vnet 0 (the synthetic-sweep default).
+        single_vnet: bool,
+    },
+    /// Bit-complement destinations at `rate` flits/node/cycle.
+    BitComplement {
+        /// Offered load in flits/node/cycle.
+        rate: f64,
+        /// Confine all packets to vnet 0.
+        single_vnet: bool,
+    },
+}
+
+/// One fully-described experiment: everything needed to reproduce a run.
+///
+/// ```
+/// use sb_scenario::{Design, Scenario};
+///
+/// let out = Scenario::new("smoke", Design::StaticBubble)
+///     .with_mesh(4, 4)
+///     .with_rate(0.05)
+///     .with_warmup(200)
+///     .with_cycles(800)
+///     .run();
+/// assert!(out.stats.delivered_packets > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label (figure name, sweep point, ...).
+    pub name: String,
+    /// Mesh width.
+    pub width: u16,
+    /// Mesh height.
+    pub height: u16,
+    /// How the irregular topology is derived.
+    pub faults: FaultSpec,
+    /// Deadlock-handling design under test.
+    pub design: Design,
+    /// Offered traffic.
+    pub traffic: TrafficSpec,
+    /// Network configuration (vnets, VCs, packet length).
+    pub config: SimConfig,
+    /// Bubble placement (Static Bubble only).
+    pub bubbles: BubbleSpec,
+    /// Deadlock-detection threshold in cycles (Table II).
+    pub tdd: u64,
+    /// Probe-forking ablation switch (paper's design: on).
+    pub sb_forking: bool,
+    /// Check-probe fast path ablation switch (footnote 7: on).
+    pub sb_check_probe: bool,
+    /// Warmup cycles before the measurement window.
+    pub warmup: u64,
+    /// Measurement-window cycles.
+    pub cycles: u64,
+    /// Simulation seed (injection process and VC tie-breaks).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A baseline scenario: 8×8 pristine mesh, uniform traffic at 0.1
+    /// flits/node/cycle in a single vnet, the paper's detection threshold,
+    /// 1 000 warmup + 10 000 measured cycles.
+    pub fn new(name: impl Into<String>, design: Design) -> Self {
+        Scenario {
+            name: name.into(),
+            width: 8,
+            height: 8,
+            faults: FaultSpec::Pristine,
+            design,
+            traffic: TrafficSpec::Uniform {
+                rate: 0.1,
+                single_vnet: true,
+            },
+            config: SimConfig::single_vnet(),
+            bubbles: BubbleSpec::Auto,
+            tdd: T_DD,
+            sb_forking: true,
+            sb_check_probe: true,
+            warmup: 1_000,
+            cycles: 10_000,
+            seed: 1,
+        }
+    }
+
+    /// Set the mesh dimensions.
+    pub fn with_mesh(mut self, width: u16, height: u16) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Set the fault spec.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Swap the deadlock-handling design (sweeps comparing designs on one
+    /// otherwise-fixed spec).
+    pub fn with_design(mut self, design: Design) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Set the traffic spec.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Keep the traffic pattern but change its rate.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        match &mut self.traffic {
+            TrafficSpec::Idle => {
+                self.traffic = TrafficSpec::Uniform {
+                    rate,
+                    single_vnet: true,
+                }
+            }
+            TrafficSpec::Uniform { rate: r, .. } | TrafficSpec::BitComplement { rate: r, .. } => {
+                *r = rate
+            }
+        }
+        self
+    }
+
+    /// Set the network configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the bubble placement.
+    pub fn with_bubbles(mut self, bubbles: BubbleSpec) -> Self {
+        self.bubbles = bubbles;
+        self
+    }
+
+    /// Set the detection threshold.
+    pub fn with_tdd(mut self, tdd: u64) -> Self {
+        self.tdd = tdd;
+        self
+    }
+
+    /// Set the Static Bubble ablation options.
+    pub fn with_sb_options(mut self, opts: SbOptions) -> Self {
+        self.sb_forking = opts.forking;
+        self.sb_check_probe = opts.check_probe;
+        self
+    }
+
+    /// Set the warmup length.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Set the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The mesh substrate.
+    pub fn mesh(&self) -> Mesh {
+        Mesh::new(self.width, self.height)
+    }
+
+    /// The Static Bubble ablation options as the plugin consumes them.
+    pub fn sb_options(&self) -> SbOptions {
+        SbOptions {
+            forking: self.sb_forking,
+            check_probe: self.sb_check_probe,
+        }
+    }
+
+    /// Materialize the irregular topology described by [`Scenario::faults`].
+    pub fn topology(&self) -> Topology {
+        let mesh = self.mesh();
+        match self.faults {
+            FaultSpec::Pristine => Topology::full(mesh),
+            FaultSpec::Model { kind, count, seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                FaultModel::new(kind, count).inject(mesh, &mut rng)
+            }
+            FaultSpec::Mixed {
+                links,
+                routers,
+                seed,
+            } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut topo = Topology::full(mesh);
+                if links > 0 {
+                    topo = FaultModel::new(FaultKind::Links, links).inject(mesh, &mut rng);
+                }
+                if routers > 0 {
+                    for i in rand::seq::index::sample(&mut rng, mesh.node_count(), routers) {
+                        topo.remove_router(NodeId::from(i));
+                    }
+                }
+                topo
+            }
+        }
+    }
+
+    /// The bubble routers this scenario runs with on `topo`.
+    pub fn bubble_routers(&self, topo: &Topology) -> Vec<NodeId> {
+        match &self.bubbles {
+            BubbleSpec::Auto => placement::alive_bubbles(topo),
+            BubbleSpec::Explicit(list) => list.clone(),
+        }
+    }
+
+    /// Build the simulation on a freshly materialized topology.
+    pub fn build(&self) -> Box<dyn SimRunner> {
+        self.build_on(&self.topology())
+    }
+
+    /// Build the simulation on an externally supplied topology (sweeps
+    /// sample many topologies per fault point and reuse one spec).
+    pub fn build_on(&self, topo: &Topology) -> Box<dyn SimRunner> {
+        match self.traffic {
+            TrafficSpec::Idle => self.build_with(topo, NoTraffic),
+            TrafficSpec::Uniform { rate, single_vnet } => {
+                let t = UniformTraffic::new(rate);
+                let t = if single_vnet { t.single_vnet() } else { t };
+                self.build_with(topo, t)
+            }
+            TrafficSpec::BitComplement { rate, single_vnet } => {
+                let t = BitComplementTraffic::new(rate);
+                let t = if single_vnet { t.single_vnet() } else { t };
+                self.build_with(topo, t)
+            }
+        }
+    }
+
+    /// Build the simulation with an explicit traffic source — the escape
+    /// hatch for traffic that has no serialized form (scripted packets,
+    /// application traces). Everything else still comes from the spec.
+    pub fn build_with<T: TrafficSource + 'static>(
+        &self,
+        topo: &Topology,
+        traffic: T,
+    ) -> Box<dyn SimRunner> {
+        let planner = self.design.planner(topo);
+        match self.design {
+            Design::SpanningTree | Design::TreeOnly | Design::Unprotected => Box::new(Runner(
+                Simulator::new(topo, self.config, planner, NullPlugin, traffic, self.seed),
+            )),
+            Design::EscapeVc => Box::new(Runner(Simulator::new(
+                topo,
+                self.config,
+                planner,
+                EscapeVcPlugin::new(topo, self.tdd),
+                traffic,
+                self.seed,
+            ))),
+            Design::StaticBubble => {
+                let bubbles = self.bubble_routers(topo);
+                Box::new(Runner(Simulator::with_bubbles(
+                    topo,
+                    self.config,
+                    planner,
+                    StaticBubblePlugin::with_options(topo.mesh(), self.tdd, self.sb_options()),
+                    traffic,
+                    self.seed,
+                    &bubbles,
+                )))
+            }
+        }
+    }
+
+    /// Build, warm up and run the measurement window on a fresh topology.
+    pub fn run(&self) -> RunOutcome {
+        self.run_on(&self.topology())
+    }
+
+    /// As [`Scenario::run`] on an externally supplied topology.
+    pub fn run_on(&self, topo: &Topology) -> RunOutcome {
+        let mut runner = self.build_on(topo);
+        runner.warmup(self.warmup);
+        runner.run(self.cycles);
+        RunOutcome {
+            design: self.design,
+            cost: self.design.cost(topo, self.config),
+            stats: runner.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let sc = Scenario::new("t", Design::EscapeVc)
+            .with_mesh(4, 6)
+            .with_rate(0.3)
+            .with_seed(9)
+            .with_tdd(16);
+        assert_eq!((sc.width, sc.height), (4, 6));
+        assert_eq!(
+            sc.traffic,
+            TrafficSpec::Uniform {
+                rate: 0.3,
+                single_vnet: true
+            }
+        );
+        assert_eq!(sc.seed, 9);
+        assert_eq!(sc.tdd, 16);
+    }
+
+    #[test]
+    fn pristine_topology_is_full() {
+        let sc = Scenario::new("t", Design::StaticBubble).with_mesh(5, 5);
+        assert_eq!(sc.topology(), Topology::full(Mesh::new(5, 5)));
+    }
+
+    #[test]
+    fn model_faults_are_seed_deterministic() {
+        let sc = Scenario::new("t", Design::StaticBubble).with_faults(FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: 9,
+            seed: 5,
+        });
+        assert_eq!(sc.topology(), sc.topology());
+        assert_eq!(
+            sc.topology().alive_links().count(),
+            Mesh::new(8, 8).link_count() - 9
+        );
+    }
+
+    #[test]
+    fn mixed_faults_remove_both_kinds() {
+        let sc = Scenario::new("t", Design::StaticBubble).with_faults(FaultSpec::Mixed {
+            links: 4,
+            routers: 3,
+            seed: 2,
+        });
+        let topo = sc.topology();
+        assert_eq!(topo.alive_node_count(), 64 - 3);
+    }
+
+    #[test]
+    fn explicit_bubbles_override_placement() {
+        let topo = Topology::full(Mesh::new(8, 8));
+        let mine = vec![NodeId::from(0usize), NodeId::from(63usize)];
+        let sc = Scenario::new("t", Design::StaticBubble)
+            .with_bubbles(BubbleSpec::Explicit(mine.clone()));
+        assert_eq!(sc.bubble_routers(&topo), mine);
+        let auto = Scenario::new("t", Design::StaticBubble);
+        assert_eq!(auto.bubble_routers(&topo), placement::alive_bubbles(&topo));
+    }
+
+    #[test]
+    fn escape_runner_reports_escapes_others_dont() {
+        let topo = Topology::full(Mesh::new(4, 4));
+        let sc = Scenario::new("t", Design::EscapeVc).with_mesh(4, 4);
+        assert!(sc.build_on(&topo).escapes().is_some());
+        let sc = Scenario::new("t", Design::StaticBubble).with_mesh(4, 4);
+        assert!(sc.build_on(&topo).escapes().is_none());
+    }
+}

@@ -1,0 +1,498 @@
+//! Minimal TOML rendering/parsing for [`Value`] trees.
+//!
+//! Supports the TOML subset scenario specs use: `[a.b]` tables, bare and
+//! quoted keys, strings, booleans, integers, floats and single-line arrays
+//! of scalars. Nested maps become dotted table headers, so an
+//! externally-tagged enum like `TrafficSpec::Uniform` renders naturally as
+//! `[traffic.Uniform]`. Not supported (and not emitted): dates, multi-line
+//! strings, arrays of tables, inline tables.
+
+use crate::value::{to_value, SpecError, Value};
+use serde::de::DeserializeOwned;
+use serde::ser::Serialize;
+
+/// Serialize any value as TOML text. The value must serialize to a map.
+pub fn to_toml_string<T: Serialize + ?Sized>(value: &T) -> Result<String, SpecError> {
+    render(&to_value(value)?)
+}
+
+/// Deserialize any value from TOML text.
+pub fn from_toml_str<T: DeserializeOwned>(text: &str) -> Result<T, SpecError> {
+    crate::value::from_value(parse(text)?)
+}
+
+/// Render a top-level map as TOML.
+pub fn render(value: &Value) -> Result<String, SpecError> {
+    let Value::Map(entries) = value else {
+        return Err(SpecError(format!(
+            "TOML documents are tables; got {} at top level",
+            kind_of(value)
+        )));
+    };
+    let mut out = String::new();
+    render_table(entries, &mut Vec::new(), &mut out)?;
+    Ok(out)
+}
+
+fn kind_of(v: &Value) -> &'static str {
+    match v {
+        Value::Unit => "unit",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "array",
+        Value::Map(_) => "table",
+    }
+}
+
+fn render_table(
+    entries: &[(String, Value)],
+    path: &mut Vec<String>,
+    out: &mut String,
+) -> Result<(), SpecError> {
+    // Scalars and arrays first: everything after a `[section]` header would
+    // otherwise be swallowed into that section.
+    for (key, value) in entries {
+        if !matches!(value, Value::Map(_)) {
+            out.push_str(&render_key(key));
+            out.push_str(" = ");
+            render_inline(value, out)?;
+            out.push('\n');
+        }
+    }
+    for (key, value) in entries {
+        if let Value::Map(sub) = value {
+            path.push(key.clone());
+            out.push('\n');
+            out.push('[');
+            out.push_str(
+                &path
+                    .iter()
+                    .map(|seg| render_key(seg))
+                    .collect::<Vec<_>>()
+                    .join("."),
+            );
+            out.push_str("]\n");
+            render_table(sub, path, out)?;
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn render_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        let mut s = String::new();
+        render_basic_string(key, &mut s);
+        s
+    }
+}
+
+fn render_inline(value: &Value, out: &mut String) -> Result<(), SpecError> {
+    match value {
+        Value::Unit => {
+            return Err(SpecError(
+                "TOML cannot represent a unit value; use the JSON form".into(),
+            ))
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => out.push_str(&format!("{f:?}")),
+        Value::Str(s) => render_basic_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_inline(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(_) => {
+            return Err(SpecError(
+                "tables inside arrays are outside the supported TOML subset".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn render_basic_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse TOML text into a [`Value::Map`].
+pub fn parse(text: &str) -> Result<Value, SpecError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.strip_suffix(']').ok_or_else(|| {
+                SpecError(format!("line {}: unterminated table header", lineno + 1))
+            })?;
+            if header.starts_with('[') {
+                return Err(SpecError(format!(
+                    "line {}: arrays of tables are outside the supported TOML subset",
+                    lineno + 1
+                )));
+            }
+            path = parse_dotted_key(header)
+                .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+            // Create the table eagerly so empty sections still exist.
+            table_at(&mut root, &path)
+                .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+            continue;
+        }
+        let (key, rest) = split_key_value(line)
+            .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+        let mut cursor = Cursor {
+            bytes: rest.as_bytes(),
+            pos: 0,
+        };
+        cursor.skip_ws();
+        let value = cursor
+            .value()
+            .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+        cursor.skip_ws();
+        if cursor.pos != cursor.bytes.len() {
+            return Err(SpecError(format!(
+                "line {}: trailing garbage after value",
+                lineno + 1
+            )));
+        }
+        let table = table_at(&mut root, &path)
+            .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+        if table.iter().any(|(k, _)| k == &key) {
+            return Err(SpecError(format!(
+                "line {}: duplicate key `{key}`",
+                lineno + 1
+            )));
+        }
+        table.push((key, value));
+    }
+    Ok(Value::Map(root))
+}
+
+/// Strip a `#` comment, respecting basic strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_string = !in_string,
+            b'\\' if in_string => i += 1,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_dotted_key(s: &str) -> Result<Vec<String>, SpecError> {
+    let mut segs = Vec::new();
+    for seg in s.split('.') {
+        let seg = seg.trim();
+        let seg = if let Some(stripped) = seg.strip_prefix('"') {
+            stripped
+                .strip_suffix('"')
+                .ok_or_else(|| SpecError("unterminated quoted key".into()))?
+                .to_string()
+        } else {
+            if seg.is_empty()
+                || !seg
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(SpecError(format!("invalid key segment `{seg}`")));
+            }
+            seg.to_string()
+        };
+        segs.push(seg);
+    }
+    Ok(segs)
+}
+
+fn split_key_value(line: &str) -> Result<(String, &str), SpecError> {
+    // The key is everything before the first `=` outside a string; our keys
+    // never contain `=`, so a plain find is enough.
+    let eq = line
+        .find('=')
+        .ok_or_else(|| SpecError("expected `key = value`".into()))?;
+    let key_part = line[..eq].trim();
+    let mut segs = parse_dotted_key(key_part)?;
+    if segs.len() != 1 {
+        return Err(SpecError(
+            "dotted keys in assignments are not supported".into(),
+        ));
+    }
+    Ok((segs.remove(0), line[eq + 1..].trim()))
+}
+
+fn table_at<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, SpecError> {
+    let mut current = root;
+    for seg in path {
+        if !current.iter().any(|(k, _)| k == seg) {
+            current.push((seg.clone(), Value::Map(Vec::new())));
+        }
+        let idx = current
+            .iter()
+            .position(|(k, _)| k == seg)
+            .expect("just ensured");
+        match &mut current[idx].1 {
+            Value::Map(sub) => current = sub,
+            other => {
+                return Err(SpecError(format!(
+                    "key `{seg}` is a {}, not a table",
+                    kind_of(other)
+                )))
+            }
+        }
+    }
+    Ok(current)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SpecError> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.number(),
+            _ => Err(SpecError("unrecognized value".into())),
+        }
+    }
+
+    fn eat(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(SpecError("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| SpecError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| SpecError("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| SpecError("invalid \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| SpecError("invalid \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(SpecError("invalid escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| SpecError("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SpecError> {
+        self.pos += 1; // opening bracket
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                None => return Err(SpecError("unterminated array".into())),
+                _ => {}
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(SpecError("expected `,` or `]` in array".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, SpecError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-' | b'+')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'-' | b'+' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .chars()
+            .filter(|&c| c != '_' && c != '+')
+            .collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| SpecError(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| SpecError(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| SpecError(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        parse(&render(v).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn flat_table_round_trips() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Float(0.5)),
+            ("c".into(), Value::Str("hi # not a comment".into())),
+            ("d".into(), Value::Bool(false)),
+            ("e".into(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_tables_round_trip() {
+        let v = Value::Map(vec![
+            ("top".into(), Value::UInt(1)),
+            (
+                "traffic".into(),
+                Value::Map(vec![(
+                    "Uniform".into(),
+                    Value::Map(vec![
+                        ("rate".into(), Value::Float(0.1)),
+                        ("single_vnet".into(), Value::Bool(true)),
+                    ]),
+                )]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let v = parse("# header\n\na = 1 # trailing\n[s]\nb = \"x#y\"\n").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("a".into(), Value::UInt(1)),
+                (
+                    "s".into(),
+                    Value::Map(vec![("b".into(), Value::Str("x#y".into()))])
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(parse("a = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn floats_keep_their_precision() {
+        let v = Value::Map(vec![("r".into(), Value::Float(0.1))]);
+        assert_eq!(roundtrip(&v), v);
+        let v = Value::Map(vec![("r".into(), Value::Float(1.0))]);
+        assert_eq!(roundtrip(&v), v);
+    }
+}

@@ -109,9 +109,10 @@ pub fn find_deadlock(core: &NetCore) -> Vec<InputRef> {
         }
         // An active, attached, empty (or draining) bubble downstream is a
         // usable buffer.
-        if core.bubble(neighbor).is_some_and(|b| {
-            b.attach == Some((port, pkt.vnet)) && b.slot.occupant().is_none()
-        }) {
+        if core
+            .bubble(neighbor)
+            .is_some_and(|b| b.attach == Some((port, pkt.vnet)) && b.slot.occupant().is_none())
+        {
             any_free = true;
         } else if let Some(&j) = index.get(&Buf::Bubble(neighbor)) {
             // Occupied bubble: depend on it only if it is attached to our
@@ -312,7 +313,13 @@ mod tests {
         let (b, c, d) = (mesh.node_at(0, 1), mesh.node_at(1, 1), mesh.node_at(1, 0));
         // Only three of the four ring VCs are occupied.
         place(&mut core, vc(b, South), 1, d, vec![East, South]);
-        place(&mut core, vc(c, West), 2, mesh.node_at(0, 0), vec![South, West]);
+        place(
+            &mut core,
+            vc(c, West),
+            2,
+            mesh.node_at(0, 0),
+            vec![South, West],
+        );
         place(&mut core, vc(d, North), 3, b, vec![West, North]);
         assert!(!is_deadlocked(&core));
     }
@@ -323,7 +330,13 @@ mod tests {
         let topo = Topology::full(mesh);
         let mut core = NetCore::new(&topo, SimConfig::tiny(), &[]);
         // Packet at node1 wants ejection; packet at node0 wants node1's VC.
-        place(&mut core, vc(mesh.node_at(1, 0), Direction::West), 1, mesh.node_at(1, 0), vec![]);
+        place(
+            &mut core,
+            vc(mesh.node_at(1, 0), Direction::West),
+            1,
+            mesh.node_at(1, 0),
+            vec![],
+        );
         place(
             &mut core,
             vc(mesh.node_at(0, 0), Direction::East),
@@ -371,7 +384,13 @@ mod tests {
         let mesh = Mesh::new(3, 1);
         let topo = Topology::full(mesh);
         let mut core = NetCore::new(&topo, SimConfig::tiny(), &[]);
-        place(&mut core, vc(mesh.node_at(1, 0), Direction::West), 1, mesh.node_at(1, 0), vec![]);
+        place(
+            &mut core,
+            vc(mesh.node_at(1, 0), Direction::West),
+            1,
+            mesh.node_at(1, 0),
+            vec![],
+        );
         assert_eq!(find_dependency_cycle(&core), None);
     }
 

@@ -26,6 +26,9 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     traffic: T,
     planner: Box<dyn RouteSource>,
     rng: StdRng,
+    /// Reference mode: scan every alive router instead of the active-set
+    /// worklist (see [`Simulator::scan_all_routers`]).
+    full_scan: bool,
 }
 
 /// Per-cycle, per-router grant bookkeeping (one grant per input port).
@@ -87,7 +90,19 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             traffic,
             planner,
             rng: StdRng::seed_from_u64(seed),
+            full_scan: false,
         }
+    }
+
+    /// Switch the allocator between the active-set worklist (default) and
+    /// the naive full sweep over every router.
+    ///
+    /// The full sweep is the reference semantics the worklist optimises;
+    /// the two must produce bit-identical [`crate::Stats`] for the same
+    /// seed. Equivalence tests flip this on to cross-check; there is no
+    /// reason to enable it otherwise.
+    pub fn scan_all_routers(&mut self, enable: bool) {
+        self.full_scan = enable;
     }
 
     /// The network state.
@@ -129,6 +144,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             traffic,
             planner: self.planner,
             rng: self.rng,
+            full_scan: self.full_scan,
         }
     }
 
@@ -144,6 +160,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             traffic: self.traffic,
             planner: self.planner,
             rng: self.rng,
+            full_scan: self.full_scan,
         }
     }
 
@@ -175,9 +192,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                     continue;
                 };
                 let pkt = &occ.pkt;
-                let remaining = Route::new(
-                    pkt.route().directions()[pkt.hop_index()..].to_vec(),
-                );
+                let remaining = Route::new(pkt.route().directions()[pkt.hop_index()..].to_vec());
                 if router_dead {
                     self.core.vc_mut(vref).take(now);
                     *self.core.vc_mut(vref) = crate::vc::VcSlot::Free;
@@ -328,6 +343,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                     let id = self.core.fresh_packet_id();
                     let pkt = Packet::new(id, req, route, t);
                     self.core.inject[req.src.index()][req.vnet as usize].push_back(pkt);
+                    self.core.touch(req.src);
                 }
                 None => {
                     // Unreachable destination: dropped at the NI (Sec. V-A).
@@ -337,22 +353,47 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         }
     }
 
-    /// Separable round-robin allocation, one router at a time in id order;
-    /// grants commit immediately so downstream claims are visible to later
-    /// routers within the same cycle.
+    /// Separable round-robin allocation over the **active-router worklist**,
+    /// one router at a time in ascending id order; grants commit immediately
+    /// so downstream claims are visible to later routers within the same
+    /// cycle.
+    ///
+    /// Scanning only active routers is behaviourally identical to the naive
+    /// `0..n` sweep: a router outside the set holds no resident packet and
+    /// no queued injection (that is the retirement condition, and every path
+    /// that adds either re-inserts the router via [`NetCore::touch`]), so
+    /// the full sweep would have found no candidates there and moved on
+    /// without touching any state — round-robin pointers included. Per-cycle
+    /// cost therefore scales with occupancy, not network size.
     fn allocate(&mut self) {
-        let n = self.core.topology().mesh().node_count();
         let mut freed_bubbles: Vec<NodeId> = Vec::new();
         // Reused across routers to avoid per-cycle allocation churn:
         // (rr index, input, desired output).
         let mut candidates: Vec<(usize, InputRef, OutPort)> = Vec::with_capacity(32);
-        for r in 0..n {
-            let router = NodeId::from(r);
+        // Snapshot the worklist: routers touched mid-pass (e.g. a neighbour
+        // receiving a packet) have nothing switchable before `ready_at`
+        // anyway, so scanning them next cycle is equivalent.
+        let mut scan = std::mem::take(&mut self.core.scan_buf);
+        if self.full_scan {
+            scan.clear();
+            let n = self.core.topology().mesh().node_count();
+            scan.extend((0..n).map(NodeId::from));
+        } else {
+            self.core.fill_active(&mut scan);
+        }
+        for &router in &scan {
+            let r = router.index();
             if !self.core.topology().router_alive(router) {
+                // Dead routers hold no packets (reconfigure clears them);
+                // drop them from the worklist once empty.
+                self.core.retire_if_idle(router);
                 continue;
             }
             self.collect_candidates(router, &mut candidates);
             if candidates.is_empty() {
+                // Nothing switchable. If the router is completely empty it
+                // cannot produce candidates until someone touches it again.
+                self.core.retire_if_idle(router);
                 continue;
             }
             let mut granted = Granted::default();
@@ -386,6 +427,8 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 candidates.retain(|&(i, _, _)| i != winner_idx);
             }
         }
+        scan.clear();
+        self.core.scan_buf = scan;
         for node in freed_bubbles {
             self.plugin.on_bubble_freed(&mut self.core, node);
         }
@@ -432,10 +475,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             if let Some(pkt) = core.inject[router.index()][vnet as usize].front() {
                 out.push((
                     4 * vcs + 1 + vnet as usize,
-                    InputRef::Inject {
-                        node: router,
-                        vnet,
-                    },
+                    InputRef::Inject { node: router, vnet },
                     desired_of(pkt),
                 ));
             }
@@ -493,10 +533,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     fn slot_is_free(&self, router: NodeId, port: Direction, pkt: &Packet, slot: SlotRef) -> bool {
         let t = self.core.time();
         match slot {
-            SlotRef::Regular(vc) => self
-                .core
-                .vc(VcRef { router, port, vc })
-                .is_free(t),
+            SlotRef::Regular(vc) => self.core.vc(VcRef { router, port, vc }).is_free(t),
             SlotRef::Bubble => self.core.bubble_available(router, port, pkt.vnet),
         }
     }
@@ -540,7 +577,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         let len = pkt.len_flits as u64;
         // Fix the drain time now that we know the length.
         match input {
-            InputRef::Vc(v) => *self.core.vc_mut(v) = crate::vc::VcSlot::Draining { until: t + len },
+            InputRef::Vc(v) => {
+                *self.core.vc_mut(v) = crate::vc::VcSlot::Draining { until: t + len }
+            }
             InputRef::Bubble(b) => {
                 self.core.routers[b.index()]
                     .bubble
@@ -596,6 +635,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                             .expect("bubble slot exists")
                             .slot
                             .put(occ, t);
+                        self.core.touch(neighbor);
                     }
                 }
                 self.core.routers[router.index()].out_busy[d.index()] = t + len;
@@ -616,4 +656,3 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         freed_bubble
     }
 }
-

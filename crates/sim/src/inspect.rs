@@ -36,10 +36,7 @@ impl Snapshot {
                         .count()
                 })
                 .sum();
-            let bubble = usize::from(
-                core.bubble(n)
-                    .is_some_and(|b| b.slot.occupant().is_some()),
-            );
+            let bubble = usize::from(core.bubble(n).is_some_and(|b| b.slot.occupant().is_some()));
             occupancy.push((occ + bubble).min(u8::MAX as usize) as u8);
             if core.inject[n.index()].iter().any(|q| !q.is_empty()) {
                 backlogged += 1;

@@ -44,8 +44,8 @@
 pub mod config;
 pub mod deadlock;
 pub mod engine;
-pub mod inspect;
 pub mod escape;
+pub mod inspect;
 pub mod netcore;
 pub mod packet;
 pub mod plugin;

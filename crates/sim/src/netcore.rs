@@ -9,7 +9,7 @@ use crate::packet::{Packet, PacketId};
 use crate::plugin::{InputRef, OutPort};
 use crate::stats::Stats;
 use crate::vc::{VcRef, VcSlot};
-use sb_topology::{Direction, NodeId, Topology, DIRECTIONS};
+use sb_topology::{Direction, NodeId, NodeSet, Topology, DIRECTIONS};
 use std::collections::VecDeque;
 
 /// Index of the ejection "link" in per-output busy arrays.
@@ -70,6 +70,15 @@ pub struct NetCore {
     pub(crate) next_pkt: u64,
     /// Cycle of the most recent packet movement anywhere in the network.
     pub(crate) last_movement: u64,
+    /// Routers that may hold switchable work: the switch allocator scans
+    /// only these. Any mutation path that can hand a router a resident
+    /// packet or a queued injection re-inserts it ([`NetCore::touch`]); the
+    /// allocator retires routers it finds completely empty. The set is a
+    /// conservative over-approximation, so scanning it in ascending id order
+    /// is behaviourally identical to scanning `0..n`.
+    active: NodeSet,
+    /// Scratch for the allocator's per-cycle active-set snapshot.
+    pub(crate) scan_buf: Vec<NodeId>,
 }
 
 impl NetCore {
@@ -99,6 +108,10 @@ impl NetCore {
             moved: Vec::new(),
             next_pkt: 0,
             last_movement: 0,
+            // Start with everything active; the allocator prunes the empty
+            // routers on its first pass.
+            active: NodeSet::full(n),
+            scan_buf: Vec::with_capacity(n),
         }
     }
 
@@ -169,6 +182,64 @@ impl NetCore {
         self.last_movement
     }
 
+    // ------------------------------------------------------------------
+    // Active-router worklist
+    // ------------------------------------------------------------------
+
+    /// Mark `router` as possibly holding switchable work, (re-)entering it
+    /// into the allocator's scan set.
+    ///
+    /// Every `NetCore` mutation path that can hand a router a resident
+    /// packet or a queued injection calls this already; plugins that grow
+    /// their own side channels into the network (or tests poking
+    /// `pub(crate)` state directly) should call it whenever they make a
+    /// router non-empty. Spurious touches are harmless — an empty router is
+    /// retired again on the next allocation pass.
+    pub fn touch(&mut self, router: NodeId) {
+        self.active.insert(router);
+    }
+
+    /// Is `router` in the allocator's scan set?
+    pub fn is_active(&self, router: NodeId) -> bool {
+        self.active.contains(router)
+    }
+
+    /// Number of routers in the allocator's scan set.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Snapshot the active set into `out` in ascending id order.
+    pub(crate) fn fill_active(&self, out: &mut Vec<NodeId>) {
+        self.active.collect_into(out);
+    }
+
+    /// Retire `router` from the scan set if it is completely empty: no VC or
+    /// bubble occupant (switchable or not) and no queued injection. Such a
+    /// router contributes no allocation candidates now, and cannot gain any
+    /// without a [`NetCore::touch`] re-entering it. Returns `true` if
+    /// retired.
+    pub(crate) fn retire_if_idle(&mut self, router: NodeId) -> bool {
+        if !self.router_is_idle(router) {
+            return false;
+        }
+        self.active.remove(router);
+        true
+    }
+
+    fn router_is_idle(&self, router: NodeId) -> bool {
+        let state = &self.routers[router.index()];
+        state
+            .vcs
+            .iter()
+            .all(|port| port.iter().all(|s| s.occupant().is_none()))
+            && state
+                .bubble
+                .as_ref()
+                .is_none_or(|b| b.slot.occupant().is_none())
+            && self.inject[router.index()].iter().all(VecDeque::is_empty)
+    }
+
     /// Movements committed in the current cycle so far (complete after
     /// allocation; intended for [`crate::Plugin::after_cycle`]).
     pub fn moves(&self) -> &[MoveEvent] {
@@ -184,8 +255,10 @@ impl NetCore {
         &self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
     }
 
-    /// Mutable slot at `vc`.
+    /// Mutable slot at `vc`. The router re-enters the allocator's scan set:
+    /// the caller may be about to install an occupant.
     pub fn vc_mut(&mut self, vc: VcRef) -> &mut VcSlot {
+        self.touch(vc.router);
         &mut self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
     }
 
@@ -301,6 +374,7 @@ impl NetCore {
             "activating an occupied bubble at {router}"
         );
         b.attach = Some((port, vnet));
+        self.touch(router);
     }
 
     /// Deactivate the bubble at `router` (it stops accepting packets; an
@@ -321,6 +395,7 @@ impl NetCore {
     /// any, leaving the bubble slot free (used for the paper's intra-router
     /// bubble→VC relocation, footnote 6).
     pub fn bubble_take_occupant(&mut self, router: NodeId) -> Option<crate::vc::OccVc> {
+        self.touch(router);
         let b = self.routers[router.index()].bubble.as_mut()?;
         b.slot.occupant()?;
         let t = self.time;
@@ -347,6 +422,9 @@ impl NetCore {
     pub(crate) fn set_topology(&mut self, topo: &Topology) {
         assert_eq!(self.topo.mesh(), topo.mesh(), "reconfigure keeps the mesh");
         self.topo = topo.clone();
+        // Reconfiguration rewrites buffers wholesale; rescan everything and
+        // let the allocator re-prune.
+        self.active.fill();
     }
 
     pub(crate) fn fresh_packet_id(&mut self) -> PacketId {
@@ -364,15 +442,19 @@ impl NetCore {
                 .as_ref()
                 .and_then(|b| b.slot.occupant())
                 .map(|o| &o.pkt),
-            InputRef::Inject { node, vnet } => {
-                self.inject[node.index()][vnet as usize].front()
-            }
+            InputRef::Inject { node, vnet } => self.inject[node.index()][vnet as usize].front(),
         }
     }
 
     /// Mutable access to a resident packet (used by the escape-VC plugin to
-    /// re-stamp routes). Returns `None` for injection-queue inputs.
+    /// re-stamp routes). Returns `None` for injection-queue inputs. The
+    /// holding router re-enters the allocator's scan set.
     pub fn packet_at_mut(&mut self, input: InputRef) -> Option<&mut Packet> {
+        match input {
+            InputRef::Vc(v) => self.touch(v.router),
+            InputRef::Bubble(r) => self.touch(r),
+            InputRef::Inject { node, .. } => self.touch(node),
+        }
         match input {
             InputRef::Vc(v) => self.vc_mut(v).occupant_mut().map(|o| &mut o.pkt),
             InputRef::Bubble(r) => self.routers[r.index()]
@@ -396,10 +478,7 @@ mod tests {
     fn core_with_bubble() -> (NetCore, NodeId) {
         let topo = Topology::full(Mesh::new(4, 4));
         let node = NodeId(5);
-        (
-            NetCore::new(&topo, SimConfig::default(), &[node]),
-            node,
-        )
+        (NetCore::new(&topo, SimConfig::default(), &[node]), node)
     }
 
     fn dummy_packet(id: u64, vnet: u8) -> Packet {

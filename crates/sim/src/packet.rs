@@ -65,12 +65,7 @@ pub struct Packet {
 
 impl Packet {
     /// Create a packet about to be injected at `src` with the given route.
-    pub fn new(
-        id: PacketId,
-        req: NewPacket,
-        route: Route,
-        created_at: u64,
-    ) -> Self {
+    pub fn new(id: PacketId, req: NewPacket, route: Route, created_at: u64) -> Self {
         Packet {
             id,
             src: req.src,

@@ -103,10 +103,20 @@ impl TraceEvent {
     /// One-line compact form.
     pub fn to_line(&self) -> String {
         match *self {
-            TraceEvent::Offered { time, src, dst, len_flits } => {
+            TraceEvent::Offered {
+                time,
+                src,
+                dst,
+                len_flits,
+            } => {
                 format!("O,{time},{},{},{len_flits}", src.0, dst.0)
             }
-            TraceEvent::Delivered { time, src, dst, latency } => {
+            TraceEvent::Delivered {
+                time,
+                src,
+                dst,
+                latency,
+            } => {
                 format!("D,{time},{},{},{latency}", src.0, dst.0)
             }
         }
@@ -127,12 +137,7 @@ impl TraceEvent {
                     return Err(bad());
                 }
                 let num = |i: usize| parts[i].parse::<u64>().map_err(|_| bad());
-                let node = |i: usize| {
-                    parts[i]
-                        .parse::<u16>()
-                        .map(NodeId)
-                        .map_err(|_| bad())
-                };
+                let node = |i: usize| parts[i].parse::<u16>().map(NodeId).map_err(|_| bad());
                 match parts[0] {
                     "O" => Ok(TraceEvent::Offered {
                         time: num(1)?,
@@ -247,7 +252,10 @@ mod tests {
         let p99 = traced.latency_percentile(99.0).unwrap();
         assert!(p50 <= p99);
         assert!(traced.latency_percentile(0.0).unwrap() <= p50);
-        assert_eq!(Traced::new(crate::traffic::NoTraffic).latency_percentile(50.0), None);
+        assert_eq!(
+            Traced::new(crate::traffic::NoTraffic).latency_percentile(50.0),
+            None
+        );
     }
 
     #[test]

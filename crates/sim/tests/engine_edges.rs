@@ -183,7 +183,10 @@ fn fairness_index_distinguishes_uniform_from_hotspot() {
     );
     assert!(sink.run_until_drained(10_000));
     let sink_fairness = sink.core().delivery_fairness().unwrap();
-    assert!(sink_fairness < 0.1, "one sink => fairness ~ 1/36, got {sink_fairness}");
+    assert!(
+        sink_fairness < 0.1,
+        "one sink => fairness ~ 1/36, got {sink_fairness}"
+    );
 }
 
 #[test]

@@ -254,7 +254,19 @@ fn vnets_are_isolated_buffer_pools() {
         4,
     );
     assert!(sim.run_until_deadlock(20_000, 8).is_some());
-    let delivered_before = sim.core().stats().delivered_packets;
+    // The oracle fires as soon as a dependency cycle exists; packets not
+    // trapped in it may still be live. Stop injecting and let them drain so
+    // only the deadlocked residents remain before measuring.
+    let mut sim = sim.replace_traffic(ScriptedTraffic::new(vec![]));
+    let mut delivered_before = sim.core().stats().delivered_packets;
+    loop {
+        sim.run(100);
+        let now = sim.core().stats().delivered_packets;
+        if now == delivered_before {
+            break;
+        }
+        delivered_before = now;
+    }
     // Inject a vnet-1 packet across the deadlocked network.
     let mesh = topo.mesh();
     let fire_at = sim.time() + 1;
@@ -274,4 +286,3 @@ fn vnets_are_isolated_buffer_pools() {
         "vnet-1 packet should cut through a vnet-0 deadlock"
     );
 }
-

@@ -3,9 +3,7 @@
 
 use rand::SeedableRng;
 use sb_routing::{MinimalRouting, UpDownRouting};
-use sb_sim::{
-    EscapeVcPlugin, NoTraffic, PacketMode, SimConfig, Simulator, UniformTraffic, VcRef,
-};
+use sb_sim::{EscapeVcPlugin, NoTraffic, PacketMode, SimConfig, Simulator, UniformTraffic, VcRef};
 use sb_topology::{FaultKind, FaultModel, Mesh, Topology, DIRECTIONS};
 
 fn cfg_2vc() -> SimConfig {

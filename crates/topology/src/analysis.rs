@@ -160,12 +160,7 @@ impl Topology {
     pub fn center_of_component(&self, components: &ComponentMap, c: u32) -> Option<NodeId> {
         components
             .members(c)
-            .map(|n| {
-                (
-                    self.eccentricity(n).expect("member is alive"),
-                    n,
-                )
-            })
+            .map(|n| (self.eccentricity(n).expect("member is alive"), n))
             .min()
             .map(|(_, n)| n)
     }

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bitset;
 pub mod faults;
 pub mod geom;
 pub mod mesh;
@@ -32,6 +33,7 @@ pub mod soc;
 pub mod topology;
 
 pub use analysis::{connected_components, distances_from, ComponentMap};
+pub use bitset::NodeSet;
 pub use faults::{FaultKind, FaultModel};
 pub use geom::{Coord, Direction, NodeId, Turn, DIRECTIONS};
 pub use mesh::Mesh;

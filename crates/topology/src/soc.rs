@@ -129,18 +129,30 @@ mod tests {
             }
             let topo = plan.topology();
             assert_eq!(crate::analysis::connected_components(&topo).count(), 1);
-            assert_eq!(
-                topo.alive_node_count(),
-                64 - plan.carved_routers(),
-            );
+            assert_eq!(topo.alive_node_count(), 64 - plan.carved_routers(),);
         }
     }
 
     #[test]
     fn overlap_predicate() {
-        let a = Tile { x: 0, y: 0, w: 2, h: 2 };
-        let b = Tile { x: 1, y: 1, w: 2, h: 2 };
-        let c = Tile { x: 2, y: 0, w: 2, h: 2 };
+        let a = Tile {
+            x: 0,
+            y: 0,
+            w: 2,
+            h: 2,
+        };
+        let b = Tile {
+            x: 1,
+            y: 1,
+            w: 2,
+            h: 2,
+        };
+        let c = Tile {
+            x: 2,
+            y: 0,
+            w: 2,
+            h: 2,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));
@@ -149,7 +161,12 @@ mod tests {
     #[test]
     fn tile_router_enumeration() {
         let mesh = Mesh::new(4, 4);
-        let t = Tile { x: 1, y: 2, w: 2, h: 2 };
+        let t = Tile {
+            x: 1,
+            y: 2,
+            w: 2,
+            h: 2,
+        };
         let routers = t.routers(mesh);
         assert_eq!(routers.len(), 4);
         assert!(routers.contains(&mesh.node_at(1, 2)));

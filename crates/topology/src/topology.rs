@@ -159,6 +159,15 @@ impl Topology {
         self.mesh.nodes().filter(move |&n| self.router_alive(n))
     }
 
+    /// The alive routers as a [`crate::NodeSet`] (e.g. to seed worklists).
+    pub fn alive_set(&self) -> crate::NodeSet {
+        let mut set = crate::NodeSet::new(self.mesh.node_count());
+        for n in self.alive_nodes() {
+            set.insert(n);
+        }
+        set
+    }
+
     /// Number of alive routers.
     pub fn alive_node_count(&self) -> usize {
         self.routers.iter().filter(|&&b| b).count()
@@ -297,7 +306,10 @@ mod tests {
         let l1 = Link::canonical(mesh, a, Direction::East).unwrap();
         let l2 = Link::canonical(mesh, b, Direction::West).unwrap();
         assert_eq!(l1, l2);
-        assert_eq!(Link::canonical(mesh, mesh.node_at(0, 0), Direction::West), None);
+        assert_eq!(
+            Link::canonical(mesh, mesh.node_at(0, 0), Direction::West),
+            None
+        );
     }
 
     #[test]

@@ -209,10 +209,7 @@ impl AppTraffic {
     pub fn new(profile: AppProfile, topo: &Topology) -> Option<Self> {
         let all_mcs = default_memory_controllers(topo.mesh());
         let cores = usable_cores(topo, &all_mcs)?;
-        let mcs: Vec<NodeId> = all_mcs
-            .into_iter()
-            .filter(|m| cores.contains(m))
-            .collect();
+        let mcs: Vec<NodeId> = all_mcs.into_iter().filter(|m| cores.contains(m)).collect();
         if mcs.is_empty() || cores.len() < 2 {
             return None;
         }
@@ -381,7 +378,10 @@ mod tests {
         assert!(completed > 0);
         assert!(completed <= issued);
         // Closed loop: most issued requests complete within the horizon.
-        assert!(completed as f64 > issued as f64 * 0.7, "{completed}/{issued}");
+        assert!(
+            completed as f64 > issued as f64 * 0.7,
+            "{completed}/{issued}"
+        );
     }
 
     #[test]
@@ -462,7 +462,10 @@ mod tests {
         sim.run(10_000);
         let s = sim.core().stats();
         let inj = s.offered_flits as f64 / 64.0 / s.cycles as f64;
-        assert!(inj < 0.05, "injection {inj} should be well below saturation");
+        assert!(
+            inj < 0.05,
+            "injection {inj} should be well below saturation"
+        );
         assert!(inj > 0.001);
     }
 }

@@ -50,7 +50,11 @@ pub fn usable_cores(topo: &Topology, mcs: &[NodeId]) -> Option<Vec<NodeId>> {
 /// Do all alive memory controllers remain mutually reachable? (The paper's
 /// stricter filter for the full-system runs.)
 pub fn mcs_connected(topo: &Topology, mcs: &[NodeId]) -> bool {
-    let alive: Vec<NodeId> = mcs.iter().copied().filter(|&m| topo.router_alive(m)).collect();
+    let alive: Vec<NodeId> = mcs
+        .iter()
+        .copied()
+        .filter(|&m| topo.router_alive(m))
+        .collect();
     if alive.len() != mcs.len() {
         return false;
     }

@@ -285,7 +285,12 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let mut topo = Topology::full(mesh);
         let isolated = mesh.node_at(1, 1);
-        for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+        for d in [
+            Direction::North,
+            Direction::East,
+            Direction::South,
+            Direction::West,
+        ] {
             topo.remove_link(isolated, d);
         }
         let mut t = NeighborTraffic::new(1.0);

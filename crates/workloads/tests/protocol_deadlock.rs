@@ -46,8 +46,8 @@ fn apps_with_recovery_make_monotone_progress() {
     // A few faults to make minimal routing genuinely deadlock-prone.
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let topo = sb_topology::FaultModel::new(sb_topology::FaultKind::Links, 12)
-        .inject(mesh, &mut rng);
+    let topo =
+        sb_topology::FaultModel::new(sb_topology::FaultKind::Links, 12).inject(mesh, &mut rng);
     let Some(app) = AppTraffic::new(RodiniaApp::Hadoop.profile(), &topo) else {
         panic!("topology should be usable at 12 link faults");
     };

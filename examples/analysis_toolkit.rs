@@ -47,7 +47,10 @@ fn main() {
         "delivery fairness (Jain): {:.3}",
         sim.core().delivery_fairness().unwrap_or(0.0)
     );
-    println!("\nbuffer occupancy heat map:\n{}", sim.core().occupancy_art());
+    println!(
+        "\nbuffer occupancy heat map:\n{}",
+        sim.core().occupancy_art()
+    );
 
     // 2. A deliberately wedged network and its post-mortem.
     let mut plain = Simulator::new(
@@ -75,7 +78,10 @@ fn main() {
             }
             None => println!("no simple cycle found (blocked-behind structure)"),
         }
-        println!("\noccupancy at the moment of deadlock:\n{}", plain.core().occupancy_art());
+        println!(
+            "\noccupancy at the moment of deadlock:\n{}",
+            plain.core().occupancy_art()
+        );
     } else {
         println!("(no deadlock formed within the budget — unusual at this load)");
     }

@@ -1,0 +1,60 @@
+//! Quick A/B timing of the active-set kernel vs the reference full sweep.
+use rand::SeedableRng;
+use sb_routing::XyRouting;
+use sb_sim::{NoTraffic, NullPlugin, SimConfig, Simulator, UniformTraffic};
+use sb_topology::{Mesh, Topology};
+
+fn time_idle(full: bool, cycles: u64) -> f64 {
+    let topo = Topology::full(Mesh::new(16, 16));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::default(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        NoTraffic,
+        0,
+    );
+    sim.scan_all_routers(full);
+    let start = std::time::Instant::now();
+    sim.run(cycles);
+    cycles as f64 / start.elapsed().as_secs_f64()
+}
+
+fn time_load(full: bool, rate: f64, cycles: u64) -> f64 {
+    let topo = Topology::full(Mesh::new(16, 16));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::default(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        UniformTraffic::new(rate),
+        1,
+    );
+    sim.scan_all_routers(full);
+    sim.run(500);
+    let start = std::time::Instant::now();
+    sim.run(cycles);
+    cycles as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let _ = rand::rngs::StdRng::seed_from_u64(0);
+    for (name, a, b) in [
+        ("idle", time_idle(false, 200_000), time_idle(true, 200_000)),
+        (
+            "low-load 0.01",
+            time_load(false, 0.01, 50_000),
+            time_load(true, 0.01, 50_000),
+        ),
+        (
+            "saturated 0.5",
+            time_load(false, 0.5, 20_000),
+            time_load(true, 0.5, 20_000),
+        ),
+    ] {
+        println!(
+            "{name:>14}: active {a:>12.0} c/s | full {b:>12.0} c/s | speedup {:.2}x",
+            a / b
+        );
+    }
+}

@@ -42,15 +42,20 @@ fn main() {
         mesh.node_at(1, 2),
     );
     let place = |sim: &mut Simulator<StaticBubblePlugin, NoTraffic>,
-                     router: NodeId,
-                     port: Direction,
-                     vc: u8,
-                     name: char,
-                     dst: NodeId,
-                     route: Vec<Direction>| {
+                 router: NodeId,
+                 port: Direction,
+                 vc: u8,
+                 name: char,
+                 dst: NodeId,
+                 route: Vec<Direction>| {
         let pkt = Packet::new(
             PacketId(name as u64),
-            NewPacket { src: router, dst, vnet: 0, len_flits: 5 },
+            NewPacket {
+                src: router,
+                dst,
+                vnet: 0,
+                len_flits: 5,
+            },
             static_bubble_repro::routing::Route::new(route),
             0,
         );
@@ -72,7 +77,10 @@ fn main() {
     place(&mut sim, n1, West, 0, 'G', n9, vec![North, North]);
     place(&mut sim, n1, West, 1, 'H', n9, vec![North, North]);
 
-    println!("staged ring (12 packets, 2 per port); deadlocked: {}\n", sim.deadlocked_now());
+    println!(
+        "staged ring (12 packets, 2 per port); deadlocked: {}\n",
+        sim.deadlocked_now()
+    );
     println!("occupancy (node 5 = the static-bubble router, centre-left):");
     println!("{}", sim.core().occupancy_art());
 
@@ -83,8 +91,7 @@ fn main() {
         let fsm = sim.plugin().fsm(node5).expect("SB node");
         let frozen = sim.plugin().frozen_routers();
         if fsm.state != last_state || frozen != last_frozen {
-            let turns: Vec<String> =
-                fsm.turn_buffer.iter().map(|t| t.to_string()).collect();
+            let turns: Vec<String> = fsm.turn_buffer.iter().map(|t| t.to_string()).collect();
             println!(
                 "t={:4}  FSM {:?} -> {:?}  frozen={}  turn_buffer=[{}]  delivered={}",
                 sim.time(),

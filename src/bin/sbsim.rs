@@ -10,18 +10,35 @@
 //! `tree-only`, `none` (no deadlock handling at all — expect a wedge at
 //! high load). Prints the standard stats block and, with `--heatmap`, the
 //! final buffer-occupancy picture.
+//!
+//! The CLI is a thin skin over the scenario layer: flags assemble an
+//! `sb_scenario::Scenario`, `--scenario FILE` loads one from TOML/JSON
+//! instead, and `--dump-scenario` prints the assembled spec as JSON without
+//! running it — so every run is reproducible from a text file.
 
 use std::collections::HashMap;
 
-use rand::SeedableRng;
-use static_bubble_repro::core::{placement, StaticBubblePlugin};
-use static_bubble_repro::routing::{MinimalRouting, TreeOnlyRouting, UpDownRouting};
-use static_bubble_repro::sim::{
-    EscapeVcPlugin, NullPlugin, SimConfig, Simulator, Stats, UniformTraffic,
-};
-use static_bubble_repro::topology::{FaultKind, FaultModel, Mesh, Topology};
+use static_bubble_repro::scenario::{Design, FaultSpec, Scenario, SimRunner, TrafficSpec};
+use static_bubble_repro::sim::Stats;
 
 struct Cli(HashMap<String, String>);
+
+const KNOWN_KEYS: &[&str] = &[
+    "help",
+    "design",
+    "width",
+    "height",
+    "link-faults",
+    "router-faults",
+    "rate",
+    "cycles",
+    "warmup",
+    "tdd",
+    "seed",
+    "heatmap",
+    "scenario",
+    "dump-scenario",
+];
 
 impl Cli {
     fn parse() -> Self {
@@ -29,25 +46,31 @@ impl Cli {
         let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             if let Some(k) = a.strip_prefix("--") {
+                if !KNOWN_KEYS.contains(&k) {
+                    eprintln!("unknown option --{k}; try --help");
+                    std::process::exit(2);
+                }
                 let v = match args.peek() {
                     Some(v) if !v.starts_with("--") => args.next().expect("peeked"),
                     _ => "true".to_string(),
                 };
                 map.insert(k.to_string(), v);
+            } else {
+                eprintln!("stray argument {a:?}; options are --key value pairs");
+                std::process::exit(2);
             }
         }
         Cli(map)
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.0
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    fn str(&self, key: &str, default: &str) -> String {
-        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+        match self.0.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} got {v:?}; expected a value like {key}'s default");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -59,14 +82,59 @@ fn report(stats: &Stats, nodes: usize) {
     println!("delivered packets : {}", stats.delivered_packets);
     println!("offered packets   : {}", stats.offered_packets);
     println!("dropped (unreach) : {}", stats.dropped_packets);
-    println!("throughput        : {:.4} flits/node/cycle", stats.throughput(nodes));
+    println!(
+        "throughput        : {:.4} flits/node/cycle",
+        stats.throughput(nodes)
+    );
     println!("acceptance        : {:.3}", stats.acceptance());
     match stats.avg_latency() {
-        Some(l) => println!("avg latency       : {l:.1} cycles (max {})", stats.latency_max),
+        Some(l) => println!(
+            "avg latency       : {l:.1} cycles (max {})",
+            stats.latency_max
+        ),
         None => println!("avg latency       : n/a"),
     }
     println!("probes sent       : {}", stats.probes_sent);
     println!("deadlocks healed  : {}", stats.deadlocks_recovered);
+}
+
+/// Layer the command-line flags over a base scenario (the built-in defaults,
+/// or a spec loaded with `--scenario`). Flags always win.
+fn apply_flags(cli: &Cli, mut s: Scenario) -> Scenario {
+    if let Some(label) = cli.0.get("design") {
+        let Some(design) = Design::from_label(label) else {
+            eprintln!("unknown --design {label}; try --help");
+            std::process::exit(2);
+        };
+        s = s.with_design(design);
+    }
+    let width = cli.get("width", s.width);
+    let height = cli.get("height", s.height);
+    let seed = cli.get("seed", s.seed);
+    let warmup = cli.get("warmup", s.warmup);
+    let cycles = cli.get("cycles", s.cycles);
+    let tdd = cli.get("tdd", s.tdd);
+    s = s.with_mesh(width, height);
+    if cli.flag("link-faults") || cli.flag("router-faults") {
+        let links: usize = cli.get("link-faults", 0usize);
+        let routers: usize = cli.get("router-faults", 0usize);
+        s = s.with_faults(if links == 0 && routers == 0 {
+            FaultSpec::Pristine
+        } else {
+            FaultSpec::Mixed {
+                links,
+                routers,
+                seed,
+            }
+        });
+    }
+    if cli.flag("rate") {
+        s = s.with_rate(cli.get("rate", 0.1f64));
+    }
+    s.with_warmup(warmup)
+        .with_cycles(cycles)
+        .with_tdd(tdd)
+        .with_seed(seed)
 }
 
 fn main() {
@@ -76,102 +144,64 @@ fn main() {
             "usage: sbsim [--design static-bubble|escape-vc|sp-tree|tree-only|none]\n\
              \x20            [--width 8] [--height 8] [--link-faults 0] [--router-faults 0]\n\
              \x20            [--rate 0.1] [--cycles 10000] [--warmup 1000] [--tdd 34]\n\
-             \x20            [--seed 1] [--heatmap]"
+             \x20            [--seed 1] [--heatmap]\n\
+             \x20            [--scenario FILE.toml|FILE.json] [--dump-scenario]"
         );
         return;
     }
-    let mesh = Mesh::new(cli.get("width", 8u16), cli.get("height", 8u16));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cli.get("seed", 1u64));
-    let mut topo = Topology::full(mesh);
-    let link_faults: usize = cli.get("link-faults", 0usize);
-    let router_faults: usize = cli.get("router-faults", 0usize);
-    if link_faults > 0 {
-        topo = FaultModel::new(FaultKind::Links, link_faults).inject(mesh, &mut rng);
+
+    let base = match cli.0.get("scenario") {
+        Some(path) => match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => Scenario::new("sbsim", Design::StaticBubble),
+    };
+    let scenario = apply_flags(&cli, base);
+
+    if cli.flag("dump-scenario") {
+        print!("{}", scenario.to_json().expect("scenario serializes"));
+        return;
     }
-    if router_faults > 0 {
-        use rand::seq::index::sample;
-        for i in sample(&mut rng, mesh.node_count(), router_faults) {
-            topo.remove_router(static_bubble_repro::topology::NodeId::from(i));
-        }
-    }
-    let design = cli.str("design", "static-bubble");
-    let rate = cli.get("rate", 0.1f64);
-    let cycles = cli.get("cycles", 10_000u64);
-    let warmup = cli.get("warmup", 1_000u64);
-    let tdd = cli.get("tdd", 34u64);
-    let seed = cli.get("seed", 1u64);
-    let cfg = SimConfig::single_vnet();
-    let traffic = UniformTraffic::new(rate).single_vnet();
+
+    let mesh = scenario.mesh();
+    let topo = scenario.topology();
     let nodes = topo.alive_node_count();
+    let design = scenario.design;
 
     println!(
-        "== sbsim: {design} on {}x{} mesh, {} alive routers, rate {rate}, {cycles} cycles",
+        "== sbsim: {} on {}x{} mesh, {} alive routers, rate {}, {} cycles",
+        design.label(),
         mesh.width(),
         mesh.height(),
-        nodes
+        nodes,
+        match scenario.traffic {
+            TrafficSpec::Uniform { rate, .. } | TrafficSpec::BitComplement { rate, .. } => rate,
+            TrafficSpec::Idle => 0.0,
+        },
+        scenario.cycles,
     );
+    if design == Design::StaticBubble {
+        println!(
+            "static bubbles: {} routers",
+            scenario.bubble_routers(&topo).len()
+        );
+    }
 
-    let heat = |art: String| {
-        println!("final buffer occupancy:\n{art}");
-    };
-    match design.as_str() {
-        "static-bubble" => {
-            let bubbles = placement::alive_bubbles(&topo);
-            println!("static bubbles: {} routers", bubbles.len());
-            let mut sim = Simulator::with_bubbles(
-                &topo,
-                cfg,
-                Box::new(MinimalRouting::new(&topo)),
-                StaticBubblePlugin::new(mesh, tdd),
-                traffic,
-                seed,
-                &bubbles,
-            );
-            sim.warmup(warmup);
-            sim.run(cycles);
-            report(sim.core().stats(), nodes);
-            if cli.flag("heatmap") {
-                heat(sim.core().occupancy_art());
-            }
-        }
-        "escape-vc" => {
-            let mut sim = Simulator::new(
-                &topo,
-                cfg,
-                Box::new(MinimalRouting::new(&topo)),
-                EscapeVcPlugin::new(&topo, tdd),
-                traffic,
-                seed,
-            );
-            sim.warmup(warmup);
-            sim.run(cycles);
-            report(sim.core().stats(), nodes);
-            println!("packets escaped   : {}", sim.plugin().escapes());
-            if cli.flag("heatmap") {
-                heat(sim.core().occupancy_art());
-            }
-        }
-        "sp-tree" | "tree-only" | "none" => {
-            let planner: Box<dyn static_bubble_repro::routing::RouteSource> =
-                match design.as_str() {
-                    "sp-tree" => Box::new(UpDownRouting::new(&topo)),
-                    "tree-only" => Box::new(TreeOnlyRouting::new(&topo)),
-                    _ => Box::new(MinimalRouting::new(&topo)),
-                };
-            let mut sim = Simulator::new(&topo, cfg, planner, NullPlugin, traffic, seed);
-            sim.warmup(warmup);
-            sim.run(cycles);
-            report(sim.core().stats(), nodes);
-            if design == "none" && sim.deadlocked_now() {
-                println!("NOTE: the network is deadlocked (no recovery mechanism attached)");
-            }
-            if cli.flag("heatmap") {
-                heat(sim.core().occupancy_art());
-            }
-        }
-        other => {
-            eprintln!("unknown --design {other}; try --help");
-            std::process::exit(2);
-        }
+    let mut sim: Box<dyn SimRunner> = scenario.build_on(&topo);
+    sim.warmup(scenario.warmup);
+    sim.run(scenario.cycles);
+    report(sim.stats(), nodes);
+    if let Some(escapes) = sim.escapes() {
+        println!("packets escaped   : {escapes}");
+    }
+    if design == Design::Unprotected && sim.deadlocked_now() {
+        println!("NOTE: the network is deadlocked (no recovery mechanism attached)");
+    }
+    if cli.flag("heatmap") {
+        println!("final buffer occupancy:\n{}", sim.core().occupancy_art());
     }
 }

@@ -37,6 +37,7 @@ pub mod prelude {
 
 pub use sb_energy as energy;
 pub use sb_routing as routing;
+pub use sb_scenario as scenario;
 pub use sb_sim as sim;
 pub use sb_topology as topology;
 pub use sb_workloads as workloads;

@@ -42,16 +42,7 @@ fn static_bubble_run_reports_stats() {
 #[test]
 fn none_design_wedges_at_high_load() {
     let (out, ok) = sbsim(&[
-        "--design",
-        "none",
-        "--rate",
-        "0.6",
-        "--cycles",
-        "6000",
-        "--warmup",
-        "0",
-        "--seed",
-        "3",
+        "--design", "none", "--rate", "0.6", "--cycles", "6000", "--warmup", "0", "--seed", "3",
     ]);
     assert!(ok);
     assert!(
@@ -79,4 +70,66 @@ fn heatmap_renders() {
 fn unknown_design_fails_cleanly() {
     let (_, ok) = sbsim(&["--design", "bogus"]);
     assert!(!ok);
+}
+
+#[test]
+fn unknown_option_fails_cleanly() {
+    let (_, ok) = sbsim(&["--desing", "static-bubble"]);
+    assert!(!ok);
+}
+
+#[test]
+fn example_scenario_file_drives_a_run() {
+    // Flags layer over the loaded spec, so the committed example stays a
+    // full-length experiment while the test runs a short slice of it.
+    let (out, ok) = sbsim(&[
+        "--scenario",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/examples/deadlock_recovery.toml"
+        ),
+        "--cycles",
+        "800",
+        "--warmup",
+        "100",
+        "--rate",
+        "0.1",
+    ]);
+    assert!(ok);
+    assert!(out.contains("== sbsim: static-bubble"), "{out}");
+    assert!(out.contains("static bubbles: 21 routers"), "{out}");
+    assert!(out.contains("delivered packets"), "{out}");
+}
+
+#[test]
+fn dumped_scenario_reproduces_the_flag_run() {
+    let flags = &[
+        "--design",
+        "escape-vc",
+        "--link-faults",
+        "5",
+        "--rate",
+        "0.2",
+        "--cycles",
+        "600",
+        "--warmup",
+        "50",
+        "--seed",
+        "8",
+    ];
+    let (json, ok) = sbsim(&[flags as &[&str], &["--dump-scenario"]].concat());
+    assert!(ok);
+    assert!(json.contains("\"Mixed\""), "{json}");
+    let path = std::env::temp_dir().join(format!("sbsim_dump_{}.json", std::process::id()));
+    std::fs::write(&path, &json).expect("write dump");
+    let (direct, ok) = sbsim(flags);
+    assert!(ok);
+    let (reloaded, ok) = sbsim(&["--scenario", path.to_str().unwrap()]);
+    assert!(ok);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        direct, reloaded,
+        "a reloaded spec must replay the exact run"
+    );
+    assert!(direct.contains("packets escaped"), "{direct}");
 }

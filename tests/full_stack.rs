@@ -7,9 +7,7 @@ use static_bubble_repro::energy::{AreaModel, EnergyModel, NetworkConfigCost};
 use static_bubble_repro::routing::{
     ChannelDependencyGraph, MinimalRouting, RouteSource, TreeOnlyRouting, UpDownRouting,
 };
-use static_bubble_repro::sim::{
-    EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator, UniformTraffic,
-};
+use static_bubble_repro::sim::{EscapeVcPlugin, NoTraffic, SimConfig, Simulator, UniformTraffic};
 use static_bubble_repro::topology::{FaultKind, FaultModel, Mesh, Topology};
 use static_bubble_repro::workloads::{AppTraffic, ParsecApp, RodiniaApp};
 
@@ -90,63 +88,25 @@ fn routing_functions_interoperate() {
 }
 
 /// The three evaluated designs deliver the same workload; the recovery
-/// designs do it with shorter routes.
+/// designs do it with shorter routes. Built entirely through the scenario
+/// layer: one spec, three designs.
 #[test]
 fn designs_compare_as_the_paper_says() {
-    let mesh = Mesh::new(8, 8);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
-    let topo = FaultModel::new(FaultKind::Links, 20).inject(mesh, &mut rng);
-    let cfg = SimConfig::single_vnet();
-    let run = |which: u8| {
-        let traffic = UniformTraffic::new(0.05).single_vnet();
-        let stats = match which {
-            0 => {
-                let mut sim = Simulator::new(
-                    &topo,
-                    cfg,
-                    Box::new(TreeOnlyRouting::new(&topo)),
-                    NullPlugin,
-                    traffic,
-                    9,
-                );
-                sim.warmup(1_000);
-                sim.run(4_000);
-                sim.core().stats().clone()
-            }
-            1 => {
-                let mut sim = Simulator::new(
-                    &topo,
-                    cfg,
-                    Box::new(MinimalRouting::new(&topo)),
-                    EscapeVcPlugin::new(&topo, 34),
-                    traffic,
-                    9,
-                );
-                sim.warmup(1_000);
-                sim.run(4_000);
-                sim.core().stats().clone()
-            }
-            _ => {
-                let bubbles = placement::alive_bubbles(&topo);
-                let mut sim = Simulator::with_bubbles(
-                    &topo,
-                    cfg,
-                    Box::new(MinimalRouting::new(&topo)),
-                    StaticBubblePlugin::new(mesh, 34),
-                    traffic,
-                    9,
-                    &bubbles,
-                );
-                sim.warmup(1_000);
-                sim.run(4_000);
-                sim.core().stats().clone()
-            }
-        };
-        stats
-    };
-    let tree = run(0);
-    let evc = run(1);
-    let sb = run(2);
+    use static_bubble_repro::scenario::{Design, FaultSpec, Scenario};
+    let base = Scenario::new("design-comparison", Design::TreeOnly)
+        .with_faults(FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: 20,
+            seed: 12,
+        })
+        .with_rate(0.05)
+        .with_seed(9)
+        .with_warmup(1_000)
+        .with_cycles(4_000);
+    let run = |design| base.clone().with_design(design).run().stats;
+    let tree = run(Design::TreeOnly);
+    let evc = run(Design::EscapeVc);
+    let sb = run(Design::StaticBubble);
     let (t_lat, e_lat, s_lat) = (
         tree.avg_latency().unwrap(),
         evc.avg_latency().unwrap(),

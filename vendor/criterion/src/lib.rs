@@ -1,0 +1,150 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! slice of criterion 0.5 the workspace's `[[bench]]` targets use:
+//! [`Criterion`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock: per benchmark, a short warm-up
+//! calibrates the iterations per sample (~5 ms of work each), then
+//! `sample_size` samples are timed and the median ns/iteration is printed in
+//! a criterion-like line. There is no statistical analysis, HTML report, or
+//! saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (criterion 0.5 forwards to the
+/// standard library's hint too).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The offline harness runs one
+/// setup per routine call regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark's closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark driver; collects and prints per-benchmark timings.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark: calibrate, sample, report median ns/iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ~5 ms (capped so very slow routines still finish).
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{name:<40} time: [{median:>12.1} ns/iter]  ({iters} iters/sample, {} samples)",
+            self.sample_size
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __criterion: $crate::Criterion = $cfg;
+            $($target(&mut __criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running each group (arguments from `cargo bench` are
+/// ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

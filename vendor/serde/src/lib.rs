@@ -1,0 +1,28 @@
+//! Offline, dependency-free subset of the `serde` API.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the serde surface it actually uses: the [`ser`] and [`de`] trait
+//! families (signature-compatible with upstream serde 1.x for everything
+//! the repo touches), impls for the primitive/std types that appear in the
+//! simulator's data structures, and the `#[derive(Serialize, Deserialize)]`
+//! macros from the sibling `serde_derive` crate.
+//!
+//! Deliberate simplifications versus upstream:
+//!
+//! * no `*_seed` deserialization (nothing here needs stateful seeds) —
+//!   `SeqAccess::next_element` / `MapAccess::next_value` are the primitives;
+//! * no `i128`/`u128`, no zero-copy `&'de str` borrowing (strings are owned);
+//! * `Deserializer` drives [`de::Visitor`]s exactly like upstream, so
+//!   format crates written against this subset port to real serde verbatim.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros share the trait names, as in upstream serde's "derive"
+// feature (macros live in a separate namespace).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,518 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! The build container has no crates.io access, so this crate cannot use
+//! `syn`/`quote`. Instead it walks the raw [`TokenStream`] directly — which
+//! is enough because the workspace derives serde traits only on plain
+//! structs and enums (no generics, no `#[serde(...)]` attributes) — and
+//! emits the impl as formatted Rust source re-parsed into a `TokenStream`.
+//!
+//! Field *types* are never inspected: generated deserialization code binds
+//! `next_value()` / `next_element()` results through the type's own
+//! constructor, so inference supplies them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or one enum variant's payload.
+enum Fields {
+    /// No payload (`struct S;` / `Variant,`).
+    Unit,
+    /// Parenthesised payload with this many fields.
+    Unnamed(usize),
+    /// Braced payload with these field names.
+    Named(Vec<String>),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility qualifiers.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_unnamed_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names from the body of a braced struct/variant.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                names.push(id.to_string());
+                // Skip `: Type` up to the next top-level comma. Nested
+                // generics/arrays are single `Group` trees, but `<...>` in a
+                // type is punct soup — track angle depth so `HashMap<K, V>`
+                // commas don't split fields.
+                let mut angle: i32 = 0;
+                for t in iter.by_ref() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple struct/variant body.
+fn count_unnamed_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut in_field = false;
+    let mut angle: i32 = 0;
+    for tree in body {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Variant list from an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute (`#[default]`, doc comments)
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        iter.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Unnamed(count_unnamed_fields(g.stream()));
+                        iter.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) up to the comma.
+                while let Some(t) = iter.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    iter.next();
+                }
+                variants.push((name, fields));
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => serialize_struct(&name, &fields),
+        Item::Enum { name, variants } => serialize_enum(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Unnamed(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Fields::Unnamed(n) => {
+            let mut s = format!(
+                "{{ use serde::ser::SerializeTupleStruct; \
+                 let mut __st = __serializer.serialize_tuple_struct(\"{name}\", {n})?;"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("__st.serialize_field(&self.{i})?;"));
+            }
+            s.push_str("__st.end() }");
+            s
+        }
+        Fields::Named(names) => {
+            let n = names.len();
+            let mut s = format!(
+                "{{ use serde::ser::SerializeStruct; \
+                 let mut __st = __serializer.serialize_struct(\"{name}\", {n})?;"
+            );
+            for f in names {
+                s.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;"));
+            }
+            s.push_str("__st.end() }");
+            s
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+               -> Result<__S::Ok, __S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (idx, (vname, fields)) in variants.iter().enumerate() {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => \
+                 __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),"
+            )),
+            Fields::Unnamed(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => \
+                 __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),"
+            )),
+            Fields::Unnamed(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({binds}) => {{ \
+                     use serde::ser::SerializeTupleVariant; \
+                     let mut __st = __serializer.serialize_tuple_variant(\
+                         \"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                    binds = binders.join(", ")
+                );
+                for b in &binders {
+                    arm.push_str(&format!("__st.serialize_field({b})?;"));
+                }
+                arm.push_str("__st.end() }");
+                arms.push_str(&arm);
+            }
+            Fields::Named(names) => {
+                let n = names.len();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {binds} }} => {{ \
+                     use serde::ser::SerializeStructVariant; \
+                     let mut __st = __serializer.serialize_struct_variant(\
+                         \"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                    binds = names.join(", ")
+                );
+                for f in names {
+                    arm.push_str(&format!("__st.serialize_field(\"{f}\", {f})?;"));
+                }
+                arm.push_str("__st.end() }");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+               -> Result<__S::Ok, __S::Error> {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => deserialize_struct(&name, &fields),
+        Item::Enum { name, variants } => deserialize_enum(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+/// `visit_seq` + `visit_map` bodies constructing `ctor { f1: ..., f2: ... }`
+/// from named fields — shared by structs and struct variants.
+fn named_fields_visitor(ctor: &str, expecting: &str, names: &[String]) -> String {
+    let n = names.len();
+    let mut decls = String::new();
+    let mut match_arms = String::new();
+    let mut build_map = String::new();
+    let mut build_seq = String::new();
+    for (i, f) in names.iter().enumerate() {
+        decls.push_str(&format!("let mut __v_{f} = None;"));
+        match_arms.push_str(&format!(
+            "\"{f}\" => {{ \
+               if __v_{f}.is_some() {{ \
+                 return Err(serde::de::Error::duplicate_field(\"{f}\")); \
+               }} \
+               __v_{f} = Some(__map.next_value()?); \
+             }}"
+        ));
+        build_map.push_str(&format!(
+            "{f}: __v_{f}.ok_or_else(|| serde::de::Error::missing_field(\"{f}\"))?,"
+        ));
+        build_seq.push_str(&format!(
+            "{f}: __seq.next_element()?.ok_or_else(|| \
+                 serde::de::Error::invalid_length({i}usize, &\"{expecting}\"))?,"
+        ));
+    }
+    format!(
+        "fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+             -> Result<Self::Value, __A::Error> {{\n\
+           {decls}\n\
+           while let Some(__key) = __map.next_key::<String>()? {{\n\
+             match __key.as_str() {{\n\
+               {match_arms}\n\
+               _ => {{ let _ = __map.next_value::<serde::de::IgnoredAny>()?; }}\n\
+             }}\n\
+           }}\n\
+           Ok({ctor} {{ {build_map} }})\n\
+         }}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> Result<Self::Value, __A::Error> {{\n\
+           let _ = {n}usize;\n\
+           Ok({ctor} {{ {build_seq} }})\n\
+         }}"
+    )
+}
+
+/// `visit_seq` body constructing `ctor(e0, e1, ...)` from a tuple payload.
+fn unnamed_fields_visit_seq(ctor: &str, expecting: &str, n: usize) -> String {
+    let mut elems = String::new();
+    for i in 0..n {
+        elems.push_str(&format!(
+            "__seq.next_element()?.ok_or_else(|| \
+                 serde::de::Error::invalid_length({i}usize, &\"{expecting}\"))?,"
+        ));
+    }
+    format!(
+        "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> Result<Self::Value, __A::Error> {{\n\
+           Ok({ctor}({elems}))\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let expecting = format!("struct {name}");
+    let (visitor_methods, driver) = match fields {
+        Fields::Unit => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) -> Result<Self::Value, __E> {{ \
+                   Ok({name}) \
+                 }}"
+            ),
+            "__deserializer.deserialize_unit(__Visitor)".to_string(),
+        ),
+        Fields::Unnamed(1) => (
+            format!(
+                "fn visit_newtype_struct<__D: serde::Deserializer<'de>>(self, __d: __D) \
+                     -> Result<Self::Value, __D::Error> {{\n\
+                   Ok({name}(serde::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 {}",
+                unnamed_fields_visit_seq(name, &expecting, 1)
+            ),
+            format!("__deserializer.deserialize_newtype_struct(\"{name}\", __Visitor)"),
+        ),
+        Fields::Unnamed(n) => (
+            unnamed_fields_visit_seq(name, &expecting, *n),
+            format!("__deserializer.deserialize_tuple({n}, __Visitor)"),
+        ),
+        Fields::Named(names) => {
+            let field_list: Vec<String> = names.iter().map(|f| format!("\"{f}\"")).collect();
+            (
+                named_fields_visitor(name, &expecting, names),
+                format!(
+                    "__deserializer.deserialize_struct(\"{name}\", &[{}], __Visitor)",
+                    field_list.join(", ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+               -> Result<Self, __D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+               type Value = {name};\n\
+               fn expecting(&self, __f: &mut std::fmt::Formatter) -> std::fmt::Result {{\n\
+                 write!(__f, \"{expecting}\")\n\
+               }}\n\
+               {visitor_methods}\n\
+             }}\n\
+             {driver}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let variant_list: Vec<String> = variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+    let variant_list = variant_list.join(", ");
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        let ctor = format!("{name}::{vname}");
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "\"{vname}\" => {{ \
+                   serde::de::VariantAccess::unit_variant(__variant)?; \
+                   Ok({ctor}) \
+                 }}"
+            )),
+            Fields::Unnamed(1) => arms.push_str(&format!(
+                "\"{vname}\" => \
+                   Ok({ctor}(serde::de::VariantAccess::newtype_variant(__variant)?)),"
+            )),
+            Fields::Unnamed(n) => {
+                let expecting = format!("tuple variant {name}::{vname}");
+                let seq = unnamed_fields_visit_seq(&ctor, &expecting, *n);
+                arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                       struct __VV;\n\
+                       impl<'de> serde::de::Visitor<'de> for __VV {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut std::fmt::Formatter) \
+                             -> std::fmt::Result {{ write!(__f, \"{expecting}\") }}\n\
+                         {seq}\n\
+                       }}\n\
+                       serde::de::VariantAccess::tuple_variant(__variant, {n}, __VV)\n\
+                     }}"
+                ));
+            }
+            Fields::Named(names) => {
+                let expecting = format!("struct variant {name}::{vname}");
+                let body = named_fields_visitor(&ctor, &expecting, names);
+                let field_list: Vec<String> = names.iter().map(|f| format!("\"{f}\"")).collect();
+                arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                       struct __VV;\n\
+                       impl<'de> serde::de::Visitor<'de> for __VV {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut std::fmt::Formatter) \
+                             -> std::fmt::Result {{ write!(__f, \"{expecting}\") }}\n\
+                         {body}\n\
+                       }}\n\
+                       serde::de::VariantAccess::struct_variant(\
+                           __variant, &[{}], __VV)\n\
+                     }}",
+                    field_list.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+               -> Result<Self, __D::Error> {{\n\
+             const __VARIANTS: &[&str] = &[{variant_list}];\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+               type Value = {name};\n\
+               fn expecting(&self, __f: &mut std::fmt::Formatter) -> std::fmt::Result {{\n\
+                 write!(__f, \"enum {name}\")\n\
+               }}\n\
+               fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                   -> Result<Self::Value, __A::Error> {{\n\
+                 let (__tag, __variant) = \
+                     serde::de::EnumAccess::variant::<String>(__data)?;\n\
+                 match __tag.as_str() {{\n\
+                   {arms}\n\
+                   _ => Err(serde::de::Error::unknown_variant(&__tag, __VARIANTS)),\n\
+                 }}\n\
+               }}\n\
+             }}\n\
+             __deserializer.deserialize_enum(\"{name}\", __VARIANTS, __Visitor)\n\
+           }}\n\
+         }}"
+    )
+}
