@@ -118,7 +118,7 @@ fn bench_bfc(c: &mut Criterion) {
 }
 
 /// Measure the active-router kernel's cycle rate on a 16×16 mesh at the
-/// three occupancy regimes the worklist is built for, and persist the
+/// four occupancy regimes the worklist is built for, and persist the
 /// numbers as `BENCH_kernel.json` at the repo root.
 fn bench_kernel(c: &mut Criterion) {
     use sb_scenario::{Design, Scenario, TrafficSpec};
@@ -149,6 +149,63 @@ fn bench_kernel(c: &mut Criterion) {
             .with_seed(5)
     };
 
+    // The blocked regime: drive the unprotected mesh into a deadlock, cut
+    // injection, and let the unaffected residue deliver. Every surviving
+    // packet is permanently blocked, so after the settle window the
+    // worklist is empty and each cycle should cost next to nothing — the
+    // regime the wake-on-event kernel exists for.
+    let topo = Topology::full(Mesh::new(16, 16));
+    let make_blocked = || {
+        let mut sim = Simulator::new(
+            &topo,
+            SimConfig::single_vnet(),
+            Box::new(MinimalRouting::new(&topo)),
+            NullPlugin,
+            UniformTraffic::new(0.6).single_vnet(),
+            9,
+        );
+        sim.run_until_deadlock(100_000, 64)
+            .expect("16x16 unprotected mesh at 0.6 must deadlock");
+        let mut sim = sim.replace_traffic(sb_sim::NoTraffic);
+        sim.run(5_000);
+        sim
+    };
+
+    // One long steady-state run per regime for the committed artifact.
+    // Runs before the criterion loops so heap churn from earlier
+    // iterations (saturated runs queue >10^6 packets) cannot skew it.
+    let mut rows: Vec<(&str, u64, f64)> = Vec::new();
+    for (name, traffic, cycles) in cases {
+        let mut sim = scenario(name, traffic).build();
+        sim.warmup(1_000);
+        let start = std::time::Instant::now();
+        sim.run(cycles);
+        rows.push((name, cycles, start.elapsed().as_secs_f64()));
+    }
+    {
+        let mut sim = make_blocked();
+        let cycles = 2_000_000u64;
+        let start = std::time::Instant::now();
+        sim.run(cycles);
+        rows.push(("blocked", cycles, start.elapsed().as_secs_f64()));
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"active_router_kernel\",\n  \"mesh\": \"16x16\",\n  \"cases\": [\n",
+    );
+    let n = rows.len();
+    for (i, (name, cycles, secs)) in rows.into_iter().enumerate() {
+        let rate = cycles as f64 / secs;
+        println!("kernel/{name:<30} {rate:>14.0} cycles/sec ({cycles} cycles)");
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"cycles\": {cycles}, \"seconds\": {secs:.6}, \"cycles_per_sec\": {rate:.0} }}{}\n",
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
+    std::fs::write(&path, json).expect("write BENCH_kernel.json");
+
     for (name, traffic, _) in cases {
         c.bench_function(&format!("kernel/{name}_16x16_1k_cycles"), |b| {
             b.iter_batched(
@@ -162,27 +219,14 @@ fn bench_kernel(c: &mut Criterion) {
             )
         });
     }
-
-    // One long steady-state run per regime for the committed artifact.
-    let mut json = String::from(
-        "{\n  \"bench\": \"active_router_kernel\",\n  \"mesh\": \"16x16\",\n  \"cases\": [\n",
-    );
-    for (i, (name, traffic, cycles)) in cases.into_iter().enumerate() {
-        let mut sim = scenario(name, traffic).build();
-        sim.warmup(1_000);
-        let start = std::time::Instant::now();
-        sim.run(cycles);
-        let secs = start.elapsed().as_secs_f64();
-        let rate = cycles as f64 / secs;
-        println!("kernel/{name:<30} {rate:>14.0} cycles/sec ({cycles} cycles)");
-        json.push_str(&format!(
-            "    {{ \"name\": \"{name}\", \"cycles\": {cycles}, \"seconds\": {secs:.6}, \"cycles_per_sec\": {rate:.0} }}{}\n",
-            if i + 1 < 3 { "," } else { "" }
-        ));
+    {
+        let mut sim = make_blocked();
+        c.bench_function("kernel/blocked_16x16_1k_cycles", |b| {
+            // Blocked is a fixed point: more cycles leave the state
+            // unchanged, so one simulator can be reused across iterations.
+            b.iter(|| sim.run(1_000))
+        });
     }
-    json.push_str("  ]\n}\n");
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
-    std::fs::write(&path, json).expect("write BENCH_kernel.json");
 }
 
 fn bench_oracle(c: &mut Criterion) {

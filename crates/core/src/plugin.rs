@@ -314,15 +314,18 @@ impl StaticBubblePlugin {
     }
 
     /// Apply the state mutation of a transit message that won its output.
+    /// Changing a router's injection restriction changes what `allow_grant`
+    /// permits there, so both the disable and enable paths wake the router
+    /// (wakeup invariant, see `sb_sim::Plugin`).
     fn apply_transit(
         &mut self,
-        now: u64,
+        core: &mut NetCore,
         router: NodeId,
         in_port: Direction,
         out: Direction,
         msg: &SpecialMsg,
     ) {
-        let self_expiry = now + self.restriction_ttl;
+        let self_expiry = core.time() + self.restriction_ttl;
         let prot = &mut self.prot[router.index()];
         match msg.kind {
             MsgKind::Disable => {
@@ -330,6 +333,7 @@ impl StaticBubblePlugin {
                 prot.io = Some((in_port, out));
                 prot.source = Some(msg.sender);
                 prot.expires_at = self_expiry;
+                core.touch(router);
                 // An SB node in detection that processes a (higher-id)
                 // disable sends its counter to SOff.
                 if let Some(fsm) = self.fsms.get_mut(&router) {
@@ -344,6 +348,7 @@ impl StaticBubblePlugin {
                     prot.is_deadlock = false;
                     prot.io = None;
                     prot.source = None;
+                    core.touch(router);
                 }
             }
             MsgKind::Probe | MsgKind::CheckProbe => {}
@@ -452,6 +457,9 @@ impl StaticBubblePlugin {
                     source: Some(router),
                     expires_at: core.time() + self.restriction_ttl,
                 };
+                // Restriction changed what allow_grant permits here
+                // (wakeup invariant; bubble_activate wakes the feeder).
+                core.touch(router);
                 core.bubble_activate(router, in_port, vnet);
                 core.stats_mut().deadlocks_recovered += 1;
             }
@@ -478,6 +486,8 @@ impl StaticBubblePlugin {
                 let after = fsm.watching.map(|w| (w.port, w.vc));
                 fsm.clear_recovery();
                 self.prot[router.index()] = ProtState::default();
+                // Lifting the local restriction re-enables grants here.
+                core.touch(router);
                 let fsm = self.fsms.get_mut(&router).expect("still an SB node");
                 if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
                     fsm.watching = Some(ptr);
@@ -654,6 +664,8 @@ impl StaticBubblePlugin {
                         let after = fsm.watching.map(|w| (w.port, w.vc));
                         fsm.clear_recovery();
                         self.prot[router.index()] = ProtState::default();
+                        // Lifting the local restriction re-enables grants.
+                        core.touch(router);
                         let fsm = self.fsms.get_mut(&router).expect("SB node");
                         if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
                             fsm.watching = Some(ptr);
@@ -737,10 +749,13 @@ impl Plugin for StaticBubblePlugin {
 
     fn before_cycle(&mut self, core: &mut NetCore) {
         let now = core.time();
-        // TTL sweep: lost enables cannot poison a router forever.
-        for p in &mut self.prot {
+        // TTL sweep: lost enables cannot poison a router forever. Lifting a
+        // restriction can re-enable grants, so the router must wake
+        // (wakeup invariant, see `sb_sim::Plugin`).
+        for (i, p) in self.prot.iter_mut().enumerate() {
             if p.is_deadlock && now >= p.expires_at {
                 *p = ProtState::default();
+                core.touch(NodeId::from(i));
             }
         }
         // 1. Deliver messages arriving this cycle, grouped by router.
@@ -808,7 +823,7 @@ impl Plugin for StaticBubblePlugin {
                     .iter()
                     .any(|a| matches!(a, Action::Forward { out: o, .. } if *o == out));
                 if still_ok && core.topology().link_alive(router, out) {
-                    self.apply_transit(core.time(), router, in_port, out, &fwd);
+                    self.apply_transit(core, router, in_port, out, &fwd);
                     self.send(core, router, out, fwd);
                 }
             }

@@ -35,6 +35,10 @@ pub struct MinimalRouting {
     topo: Topology,
     /// `dist[dst][n]` = hops from `n` to `dst`.
     dist: Vec<Vec<Option<u32>>>,
+    /// On a fully-functional mesh the minimal next hops are exactly the
+    /// coordinate-reducing directions, so `route` can skip the distance
+    /// tables entirely.
+    pristine: bool,
 }
 
 impl MinimalRouting {
@@ -48,6 +52,7 @@ impl MinimalRouting {
         MinimalRouting {
             topo: topo.clone(),
             dist,
+            pristine: topo.is_pristine(),
         }
     }
 
@@ -172,11 +177,67 @@ impl RouteSource for MinimalRouting {
     fn route(&self, src: NodeId, dst: NodeId, rng: &mut dyn rand::RngCore) -> Option<Route> {
         let mut d = self.distance(src, dst)?;
         let mut hops = Vec::with_capacity(d as usize);
+        if self.pristine {
+            // Closed-form staircase walk. The candidate set and its order
+            // match the general path below exactly (DIRECTIONS order:
+            // N, E, S, W), so the RNG draws — and therefore every route —
+            // are identical to the table-driven version.
+            let mesh = self.topo.mesh();
+            let (mut x, mut y) = {
+                let c = mesh.coord(src);
+                (c.x, c.y)
+            };
+            let (tx, ty) = {
+                let c = mesh.coord(dst);
+                (c.x, c.y)
+            };
+            while (x, y) != (tx, ty) {
+                let mut nexts = [Direction::North; 2];
+                let mut n = 0;
+                if ty > y {
+                    nexts[n] = Direction::North;
+                    n += 1;
+                }
+                if tx > x {
+                    nexts[n] = Direction::East;
+                    n += 1;
+                }
+                if ty < y {
+                    nexts[n] = Direction::South;
+                    n += 1;
+                }
+                if tx < x {
+                    nexts[n] = Direction::West;
+                    n += 1;
+                }
+                let dir = nexts[rng.gen_range(0..n)];
+                match dir {
+                    Direction::North => y += 1,
+                    Direction::East => x += 1,
+                    Direction::South => y -= 1,
+                    Direction::West => x -= 1,
+                }
+                hops.push(dir);
+            }
+            return Some(Route::new(hops));
+        }
+        let dist_to_dst = &self.dist[dst.index()];
         let mut cur = src;
         while d > 0 {
-            let nexts = self.minimal_next_hops(cur, dst);
-            debug_assert!(!nexts.is_empty(), "positive distance implies a next hop");
-            let dir = nexts[rng.gen_range(0..nexts.len())];
+            // Stack-allocated equivalent of [`Self::minimal_next_hops`]
+            // (same direction order, same RNG draws): this runs once per
+            // hop of every injected packet, and the per-hop `Vec` was the
+            // hottest allocation in the saturated injection path.
+            let mut nexts = [Direction::North; 4];
+            let mut n = 0;
+            for (dir, v) in self.topo.neighbors(cur) {
+                if dist_to_dst[v.index()] == Some(d - 1) {
+                    nexts[n] = dir;
+                    n += 1;
+                }
+            }
+            debug_assert!(n > 0, "positive distance implies a next hop");
+            let dir = nexts[rng.gen_range(0..n)];
             hops.push(dir);
             cur = self.topo.mesh().neighbor(cur, dir).expect("alive link");
             d -= 1;
@@ -195,6 +256,34 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sb_topology::{FaultKind, FaultModel, Mesh};
+
+    #[test]
+    fn pristine_fast_path_matches_table_walk() {
+        // The closed-form staircase in `route` must reproduce the
+        // table-driven walk draw for draw: same candidate sets, same
+        // order, same RNG consumption.
+        let mesh = Mesh::new(5, 7);
+        let routing = MinimalRouting::new(&Topology::full(mesh));
+        assert!(routing.pristine);
+        for (i, (a, b)) in mesh
+            .nodes()
+            .flat_map(|a| mesh.nodes().map(move |b| (a, b)))
+            .enumerate()
+        {
+            let seed = i as u64;
+            let fast = routing.route(a, b, &mut StdRng::seed_from_u64(seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut hops = Vec::new();
+            let mut cur = a;
+            while cur != b {
+                let nexts = routing.minimal_next_hops(cur, b);
+                let dir = nexts[rng.gen_range(0..nexts.len())];
+                hops.push(dir);
+                cur = mesh.neighbor(cur, dir).expect("alive link");
+            }
+            assert_eq!(fast, Some(Route::new(hops)));
+        }
+    }
 
     #[test]
     fn full_mesh_distance_is_manhattan() {

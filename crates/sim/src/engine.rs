@@ -102,6 +102,11 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// seed. Equivalence tests flip this on to cross-check; there is no
     /// reason to enable it otherwise.
     pub fn scan_all_routers(&mut self, enable: bool) {
+        if self.full_scan && !enable {
+            // Wake bookkeeping was not maintained during the full sweep;
+            // re-seed the worklist wholesale.
+            self.core.wake_all();
+        }
         self.full_scan = enable;
     }
 
@@ -154,8 +159,12 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// Static Bubble plugin holds only design-time state and never needs
     /// this — which is the paper's "plug-and-play" argument).
     pub fn replace_plugin<Q: Plugin>(self, plugin: Q) -> Simulator<Q, T> {
+        let mut core = self.core;
+        // The new plugin may allow grants the old one vetoed; routers that
+        // went quiescent under the old policy must be re-examined.
+        core.wake_all();
         Simulator {
-            core: self.core,
+            core,
             plugin,
             traffic: self.traffic,
             planner: self.planner,
@@ -293,12 +302,14 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
 
     /// Run until the oracle observes a deadlock (checking every
     /// `check_every` cycles) or `max_cycles` elapse. Returns the cycle of
-    /// detection.
+    /// detection. Never runs more than `max_cycles` cycles: the final check
+    /// interval is clamped to the remaining budget.
     pub fn run_until_deadlock(&mut self, max_cycles: u64, check_every: u64) -> Option<u64> {
         let check_every = check_every.max(1);
         let start = self.time();
         while self.time() - start < max_cycles {
-            for _ in 0..check_every {
+            let remaining = max_cycles - (self.time() - start);
+            for _ in 0..check_every.min(remaining) {
                 self.tick();
             }
             if self.deadlocked_now() {
@@ -342,8 +353,16 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                     );
                     let id = self.core.fresh_packet_id();
                     let pkt = Packet::new(id, req, route, t);
-                    self.core.inject[req.src.index()][req.vnet as usize].push_back(pkt);
-                    self.core.touch(req.src);
+                    let queue = &mut self.core.inject[req.src.index()][req.vnet as usize];
+                    // Only the queue head competes for the crossbar, so an
+                    // enqueue behind existing packets cannot create a new
+                    // allocation candidate — skip the wake unless this
+                    // packet just became the head.
+                    let became_head = queue.is_empty();
+                    queue.push_back(pkt);
+                    if became_head {
+                        self.core.touch(req.src);
+                    }
                 }
                 None => {
                     // Unreachable destination: dropped at the NI (Sec. V-A).
@@ -353,26 +372,30 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         }
     }
 
-    /// Separable round-robin allocation over the **active-router worklist**,
+    /// Separable round-robin allocation over the **change-driven worklist**,
     /// one router at a time in ascending id order; grants commit immediately
     /// so downstream claims are visible to later routers within the same
     /// cycle.
     ///
-    /// Scanning only active routers is behaviourally identical to the naive
-    /// `0..n` sweep: a router outside the set holds no resident packet and
-    /// no queued injection (that is the retirement condition, and every path
-    /// that adds either re-inserts the router via [`NetCore::touch`]), so
-    /// the full sweep would have found no candidates there and moved on
-    /// without touching any state — round-robin pointers included. Per-cycle
-    /// cost therefore scales with occupancy, not network size.
+    /// The worklist is consumed each cycle. A scanned router re-enters it
+    /// only through an event that can create a new candidate: it granted
+    /// something (more heads may be switchable next cycle), a mutation
+    /// touched it ([`NetCore::touch`] — fresh injection, arriving packet,
+    /// credit return at the port it feeds, plugin state change), or a timed
+    /// wake it scheduled for itself matured ([`NetCore::wake_at`]). A
+    /// router absent from the set would have granted nothing under the
+    /// reference `0..n` sweep, and a zero-grant sweep has no side effects —
+    /// round-robin pointers move only on grants — so skipping it is
+    /// invisible in [`crate::Stats`]. Per-cycle cost therefore tracks the
+    /// number of routers whose state *changed*, not occupancy: a saturated
+    /// or deadlocked mesh where nothing moves costs almost nothing.
     fn allocate(&mut self) {
-        let mut freed_bubbles: Vec<NodeId> = Vec::new();
-        // Reused across routers to avoid per-cycle allocation churn:
-        // (rr index, input, desired output).
-        let mut candidates: Vec<(usize, InputRef, OutPort)> = Vec::with_capacity(32);
-        // Snapshot the worklist: routers touched mid-pass (e.g. a neighbour
-        // receiving a packet) have nothing switchable before `ready_at`
-        // anyway, so scanning them next cycle is equivalent.
+        // Wheel wakes mature before the snapshot so a router scheduled for
+        // this cycle is scanned this cycle.
+        self.core.drain_wheel();
+        let mut freed_bubbles = std::mem::take(&mut self.core.freed_scratch);
+        // Reused across routers and cycles: (rr index, input, desired out).
+        let mut candidates = std::mem::take(&mut self.core.cand_scratch);
         let mut scan = std::mem::take(&mut self.core.scan_buf);
         if self.full_scan {
             scan.clear();
@@ -380,22 +403,22 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             scan.extend((0..n).map(NodeId::from));
         } else {
             self.core.fill_active(&mut scan);
+            self.core.clear_active();
         }
         for &router in &scan {
-            let r = router.index();
             if !self.core.topology().router_alive(router) {
-                // Dead routers hold no packets (reconfigure clears them);
-                // drop them from the worklist once empty.
-                self.core.retire_if_idle(router);
+                // Dead routers hold no packets (reconfigure clears them) and
+                // are woken again by the next reconfiguration.
                 continue;
             }
-            self.collect_candidates(router, &mut candidates);
-            if candidates.is_empty() {
-                // Nothing switchable. If the router is completely empty it
-                // cannot produce candidates until someone touches it again.
-                self.core.retire_if_idle(router);
+            let r = router.index();
+            let next_ready = self.collect_candidates(router, &mut candidates);
+            if candidates.is_empty() && next_ready.is_none() {
+                // Completely empty: cannot produce a candidate until some
+                // mutation touches it again.
                 continue;
             }
+            let mut any_grant = false;
             let mut granted = Granted::default();
             // Ejection first, then the four directions.
             for out_idx in [EJECT, 0, 1, 2, 3] {
@@ -422,27 +445,120 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 if let Some(freed) = self.commit(router, input, out, slot) {
                     freed_bubbles.push(freed);
                 }
+                any_grant = true;
                 // The committed packet is gone; drop it from the list so a
                 // later output port cannot re-select it.
                 candidates.retain(|&(i, _, _)| i != winner_idx);
             }
+            if self.full_scan {
+                continue;
+            }
+            if any_grant {
+                // Something moved; remaining or newly-ready heads may be
+                // switchable next cycle.
+                self.core.touch(router);
+            } else {
+                // Quiescent-blocked: sleep until the earliest timed event
+                // that could create a candidate, or until a mutation wake.
+                self.schedule_block_wake(router, &candidates, next_ready);
+            }
         }
         scan.clear();
         self.core.scan_buf = scan;
-        for node in freed_bubbles {
+        candidates.clear();
+        self.core.cand_scratch = candidates;
+        for &node in &freed_bubbles {
             self.plugin.on_bubble_freed(&mut self.core, node);
+        }
+        freed_bubbles.clear();
+        self.core.freed_scratch = freed_bubbles;
+    }
+
+    /// A scanned router granted nothing this cycle. Schedule its next wake
+    /// at the earliest *timed* event that could hand it a candidate: an
+    /// occupant finishing the hop pipeline (`next_ready`), a wanted output
+    /// link going idle, or a draining buffer on a wanted downstream port
+    /// returning its credit. Every non-timed unblocking path — a downstream
+    /// grant freeing a buffer, a plugin lifting a veto, a fresh injection, a
+    /// reconfiguration — wakes the router through [`NetCore::touch`] at
+    /// mutation time instead. If no timed event exists the router is fully
+    /// quiescent (e.g. inside a deadlock) and sleeps until a mutation
+    /// arrives.
+    fn schedule_block_wake(
+        &mut self,
+        router: NodeId,
+        candidates: &[(usize, InputRef, OutPort)],
+        next_ready: Option<u64>,
+    ) {
+        let t = self.core.time();
+        let mut wake = next_ready;
+        let note = |wake: &mut Option<u64>, at: u64| {
+            if at > t && wake.is_none_or(|w| at < w) {
+                *wake = Some(at);
+            }
+        };
+        let mut seen = [false; 5];
+        for &(_, _, out) in candidates {
+            let out_idx = match out {
+                OutPort::Dir(d) => d.index(),
+                OutPort::Eject => EJECT,
+            };
+            if seen[out_idx] {
+                continue;
+            }
+            seen[out_idx] = true;
+            note(
+                &mut wake,
+                self.core.routers[router.index()].out_busy[out_idx],
+            );
+            let OutPort::Dir(d) = out else {
+                continue;
+            };
+            if !self.core.topology().link_alive(router, d) {
+                continue; // revived only by reconfiguration, which wakes all
+            }
+            let Some(nb) = self.core.topology().mesh().neighbor(router, d) else {
+                continue;
+            };
+            // Any draining slot at the downstream input port is a pending
+            // credit; the min over all of them (regardless of vnet — a
+            // conservative superset of any plugin's pick_slot policy) bounds
+            // the earliest possible unblock. Occupied slots free through a
+            // grant at `nb`, whose buffer take wakes this feeder.
+            let nstate = &self.core.routers[nb.index()];
+            for slot in &nstate.vcs[d.opposite().index()] {
+                if let crate::vc::VcSlot::Draining { until } = *slot {
+                    note(&mut wake, until);
+                }
+            }
+            if let Some(b) = &nstate.bubble {
+                if let crate::vc::VcSlot::Draining { until } = b.slot {
+                    note(&mut wake, until);
+                }
+            }
+        }
+        if let Some(at) = wake {
+            self.core.wake_at(router, at);
         }
     }
 
     /// Gather all switchable head packets of `router` with their desired
-    /// outputs, tagged with their round-robin index.
-    fn collect_candidates(&self, router: NodeId, out: &mut Vec<(usize, InputRef, OutPort)>) {
+    /// outputs, tagged with their round-robin index (ascending). Returns
+    /// the earliest `ready_at` among occupants still in the hop pipeline,
+    /// if any — the allocator's next timed wake for an otherwise-idle
+    /// router.
+    fn collect_candidates(
+        &self,
+        router: NodeId,
+        out: &mut Vec<(usize, InputRef, OutPort)>,
+    ) -> Option<u64> {
         out.clear();
         let core = &self.core;
         let cfg: SimConfig = core.config();
         let vcs = cfg.vcs_per_port();
         let t = core.time();
         let state = &core.routers[router.index()];
+        let mut next_ready: Option<u64> = None;
         let desired_of = |pkt: &Packet| match pkt.desired_hop() {
             Some(d) => OutPort::Dir(d),
             None => OutPort::Eject,
@@ -460,6 +576,8 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                             }),
                             desired_of(&occ.pkt),
                         ));
+                    } else if next_ready.is_none_or(|w| occ.ready_at < w) {
+                        next_ready = Some(occ.ready_at);
                     }
                 }
             }
@@ -468,6 +586,8 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             if let Some(occ) = b.slot.occupant() {
                 if occ.ready_at <= t {
                     out.push((4 * vcs, InputRef::Bubble(router), desired_of(&occ.pkt)));
+                } else if next_ready.is_none_or(|w| occ.ready_at < w) {
+                    next_ready = Some(occ.ready_at);
                 }
             }
         }
@@ -480,6 +600,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 ));
             }
         }
+        next_ready
     }
 
     /// Scan the candidates of `router` wanting `out` in round-robin order
@@ -499,14 +620,17 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             OutPort::Eject => EJECT,
         };
         let start = core.routers[router.index()].rr[out_idx] as usize % total;
-        // Round-robin order = ascending (idx - start) mod total.
-        let mut order: Vec<(usize, usize, InputRef)> = candidates
-            .iter()
-            .filter(|&&(_, input, want)| want == out && !granted.taken(input))
-            .map(|&(i, input, _)| ((i + total - start) % total, i, input))
-            .collect();
-        order.sort_unstable_by_key(|&(k, _, _)| k);
-        for (_, i, input) in order {
+        // `candidates` is ascending in rr index by construction, so
+        // round-robin order (ascending `(idx - start) mod total`) is the
+        // indices `>= start` in list order followed by those `< start` —
+        // two passes, no sort, no allocation.
+        debug_assert!(candidates.windows(2).all(|w| w[0].0 < w[1].0));
+        let upper = candidates.iter().filter(|&&(i, _, _)| i >= start);
+        let lower = candidates.iter().filter(|&&(i, _, _)| i < start);
+        for &(i, input, want) in upper.chain(lower) {
+            if want != out || granted.taken(input) {
+                continue;
+            }
             let pkt = core.packet_at(input).expect("candidate has a packet");
             if !self.plugin.allow_grant(core, router, input, out, pkt) {
                 continue;

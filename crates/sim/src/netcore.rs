@@ -15,6 +15,13 @@ use std::collections::VecDeque;
 /// Index of the ejection "link" in per-output busy arrays.
 pub(crate) const EJECT: usize = 4;
 
+/// Slots in the time-indexed wake wheel. Wake delays are clamped to
+/// `WHEEL_SLOTS - 1` cycles, so a slot is always drained before it can be
+/// reused and an entry can never be delivered late. A clamped (premature)
+/// wake is harmless: the woken router finds nothing switchable and simply
+/// re-schedules its next wake.
+const WHEEL_SLOTS: usize = 64;
+
 /// The static-bubble buffer of a router: one extra packet-sized VC that a
 /// plugin can activate, attached to a chosen (input port, vnet).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -70,15 +77,28 @@ pub struct NetCore {
     pub(crate) next_pkt: u64,
     /// Cycle of the most recent packet movement anywhere in the network.
     pub(crate) last_movement: u64,
-    /// Routers that may hold switchable work: the switch allocator scans
-    /// only these. Any mutation path that can hand a router a resident
-    /// packet or a queued injection re-inserts it ([`NetCore::touch`]); the
-    /// allocator retires routers it finds completely empty. The set is a
-    /// conservative over-approximation, so scanning it in ascending id order
-    /// is behaviourally identical to scanning `0..n`.
+    /// Routers that may produce an allocation grant *this cycle*: the
+    /// switch allocator consumes the set each cycle and a router re-enters
+    /// only through an event that can create a new candidate — a mutation
+    /// calling [`NetCore::touch`], a buffer change waking the feeding
+    /// neighbour, or a timed wake from the wheel maturing. The set is a
+    /// conservative over-approximation of the routers the reference full
+    /// sweep would grant at, and a sweep that grants nothing has no side
+    /// effects, so scanning only this set in ascending id order is
+    /// behaviourally identical to scanning `0..n`.
     active: NodeSet,
     /// Scratch for the allocator's per-cycle active-set snapshot.
     pub(crate) scan_buf: Vec<NodeId>,
+    /// Time-indexed wake wheel: slot `t % WHEEL_SLOTS` holds routers to
+    /// re-enter the scan set at cycle `t` (out-busy expiries, credit
+    /// returns of draining buffers, occupants finishing their hop
+    /// pipeline). Entries are never cancelled — a stale wake is consumed in
+    /// one empty scan.
+    wheel: Vec<Vec<NodeId>>,
+    /// Scratch for the allocator's freed-bubble list (reused every cycle).
+    pub(crate) freed_scratch: Vec<NodeId>,
+    /// Scratch for the allocator's per-router candidate list.
+    pub(crate) cand_scratch: Vec<(usize, InputRef, OutPort)>,
 }
 
 impl NetCore {
@@ -112,6 +132,9 @@ impl NetCore {
             // routers on its first pass.
             active: NodeSet::full(n),
             scan_buf: Vec::with_capacity(n),
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            freed_scratch: Vec::new(),
+            cand_scratch: Vec::with_capacity(32),
         }
     }
 
@@ -186,17 +209,67 @@ impl NetCore {
     // Active-router worklist
     // ------------------------------------------------------------------
 
-    /// Mark `router` as possibly holding switchable work, (re-)entering it
-    /// into the allocator's scan set.
+    /// Mark `router` as possibly able to grant, (re-)entering it into the
+    /// allocator's scan set for the upcoming cycle.
     ///
-    /// Every `NetCore` mutation path that can hand a router a resident
-    /// packet or a queued injection calls this already; plugins that grow
-    /// their own side channels into the network (or tests poking
-    /// `pub(crate)` state directly) should call it whenever they make a
-    /// router non-empty. Spurious touches are harmless — an empty router is
-    /// retired again on the next allocation pass.
+    /// Every `NetCore` mutation path that can create an allocation
+    /// candidate calls this already; plugins that grow their own side
+    /// channels into the network — or whose [`crate::Plugin::allow_grant`]
+    /// / [`crate::Plugin::pick_slot`] answers change through internal state
+    /// alone — must call it for every router their mutation may unblock
+    /// (see the wakeup invariant on [`crate::Plugin`]). Spurious touches
+    /// are harmless — a router that still cannot grant is dropped again
+    /// after one scan.
     pub fn touch(&mut self, router: NodeId) {
         self.active.insert(router);
+    }
+
+    /// Schedule `router` to re-enter the scan set at cycle `at`
+    /// (immediately if `at` is not in the future). Used by the allocator
+    /// for *timed* unblocking events: out-busy expiries, draining buffers
+    /// returning their credit, occupants finishing the hop pipeline.
+    /// Delays beyond the wheel horizon are clamped, which only wakes the
+    /// router early: it re-schedules after an empty scan.
+    pub fn wake_at(&mut self, router: NodeId, at: u64) {
+        if at <= self.time {
+            self.touch(router);
+            return;
+        }
+        let at = at.min(self.time + (WHEEL_SLOTS as u64 - 1));
+        self.wheel[(at % WHEEL_SLOTS as u64) as usize].push(router);
+    }
+
+    /// Move every router whose wake time has matured into the scan set.
+    /// Called once per cycle by the allocator before it snapshots the set.
+    pub(crate) fn drain_wheel(&mut self) {
+        let slot = (self.time % WHEEL_SLOTS as u64) as usize;
+        let mut due = std::mem::take(&mut self.wheel[slot]);
+        for r in due.drain(..) {
+            self.active.insert(r);
+        }
+        self.wheel[slot] = due;
+    }
+
+    /// Re-enter every router into the scan set. Used when wake bookkeeping
+    /// is invalidated wholesale: a plugin swap, a switch back from the
+    /// reference full-sweep mode, a topology reconfiguration.
+    pub fn wake_all(&mut self) {
+        self.active.fill();
+    }
+
+    /// Empty the scan set (the allocator consumes its snapshot each cycle).
+    pub(crate) fn clear_active(&mut self) {
+        self.active.clear();
+    }
+
+    /// Wake the router that feeds packets into `(router, port)`: the buffer
+    /// state on the receiving side changed, which may unblock the upstream
+    /// allocator (a freed or freshly-draining VC is a new credit for the
+    /// neighbour that sends across this port).
+    fn wake_feeder(&mut self, router: NodeId, port: Direction) {
+        if let Some(feeder) = self.topo.mesh().neighbor(router, port) {
+            self.active.insert(feeder);
+        }
     }
 
     /// Is `router` in the allocator's scan set?
@@ -214,32 +287,6 @@ impl NetCore {
         self.active.collect_into(out);
     }
 
-    /// Retire `router` from the scan set if it is completely empty: no VC or
-    /// bubble occupant (switchable or not) and no queued injection. Such a
-    /// router contributes no allocation candidates now, and cannot gain any
-    /// without a [`NetCore::touch`] re-entering it. Returns `true` if
-    /// retired.
-    pub(crate) fn retire_if_idle(&mut self, router: NodeId) -> bool {
-        if !self.router_is_idle(router) {
-            return false;
-        }
-        self.active.remove(router);
-        true
-    }
-
-    fn router_is_idle(&self, router: NodeId) -> bool {
-        let state = &self.routers[router.index()];
-        state
-            .vcs
-            .iter()
-            .all(|port| port.iter().all(|s| s.occupant().is_none()))
-            && state
-                .bubble
-                .as_ref()
-                .is_none_or(|b| b.slot.occupant().is_none())
-            && self.inject[router.index()].iter().all(VecDeque::is_empty)
-    }
-
     /// Movements committed in the current cycle so far (complete after
     /// allocation; intended for [`crate::Plugin::after_cycle`]).
     pub fn moves(&self) -> &[MoveEvent] {
@@ -255,10 +302,13 @@ impl NetCore {
         &self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
     }
 
-    /// Mutable slot at `vc`. The router re-enters the allocator's scan set:
-    /// the caller may be about to install an occupant.
+    /// Mutable slot at `vc`. The router re-enters the allocator's scan set
+    /// (the caller may be about to install an occupant), and so does the
+    /// neighbour feeding this port (the caller may be about to free the
+    /// slot, which is a new credit upstream).
     pub fn vc_mut(&mut self, vc: VcRef) -> &mut VcSlot {
         self.touch(vc.router);
+        self.wake_feeder(vc.router, vc.port);
         &mut self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
     }
 
@@ -375,6 +425,8 @@ impl NetCore {
         );
         b.attach = Some((port, vnet));
         self.touch(router);
+        // The feeder of the attach port gained a slot it can send into.
+        self.wake_feeder(router, port);
     }
 
     /// Deactivate the bubble at `router` (it stops accepting packets; an
@@ -388,7 +440,13 @@ impl NetCore {
             .bubble
             .as_mut()
             .expect("router has no static bubble");
-        b.attach = None;
+        let old = b.attach.take();
+        // Conservative wakes: eligibility of the bubble as an input (this
+        // router) and as a destination slot (the old attach feeder) changed.
+        self.touch(router);
+        if let Some((port, _)) = old {
+            self.wake_feeder(router, port);
+        }
     }
 
     /// Remove and return the packet occupying the bubble at `router`, if
@@ -396,11 +454,16 @@ impl NetCore {
     /// bubble→VC relocation, footnote 6).
     pub fn bubble_take_occupant(&mut self, router: NodeId) -> Option<crate::vc::OccVc> {
         self.touch(router);
+        let t = self.time;
         let b = self.routers[router.index()].bubble.as_mut()?;
         b.slot.occupant()?;
-        let t = self.time;
         let occ = b.slot.take(t);
         b.slot = VcSlot::Free;
+        let attach = b.attach;
+        // The freed (and still attached) bubble is a new credit upstream.
+        if let Some((port, _)) = attach {
+            self.wake_feeder(router, port);
+        }
         Some(occ)
     }
 
@@ -422,9 +485,9 @@ impl NetCore {
     pub(crate) fn set_topology(&mut self, topo: &Topology) {
         assert_eq!(self.topo.mesh(), topo.mesh(), "reconfigure keeps the mesh");
         self.topo = topo.clone();
-        // Reconfiguration rewrites buffers wholesale; rescan everything and
-        // let the allocator re-prune.
-        self.active.fill();
+        // Reconfiguration rewrites buffers and liveness wholesale; wake
+        // everything and let the allocator re-prune.
+        self.wake_all();
     }
 
     pub(crate) fn fresh_packet_id(&mut self) -> PacketId {

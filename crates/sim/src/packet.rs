@@ -61,11 +61,16 @@ pub struct Packet {
     pub mode: PacketMode,
     route: Route,
     hop: usize,
+    /// Cached `route.hop(hop)`: the allocator reads the desired output on
+    /// every scan, while it can only change through `advance_hop` or
+    /// `restamp` (the sole mutators of `route`/`hop`).
+    head: Option<sb_topology::Direction>,
 }
 
 impl Packet {
     /// Create a packet about to be injected at `src` with the given route.
     pub fn new(id: PacketId, req: NewPacket, route: Route, created_at: u64) -> Self {
+        let head = route.hop(0);
         Packet {
             id,
             src: req.src,
@@ -77,13 +82,15 @@ impl Packet {
             mode: PacketMode::Normal,
             route,
             hop: 0,
+            head,
         }
     }
 
     /// The output direction the packet wants at its current router, or
     /// `None` if it wants ejection.
     pub fn desired_hop(&self) -> Option<sb_topology::Direction> {
-        self.route.hop(self.hop)
+        debug_assert_eq!(self.head, self.route.hop(self.hop));
+        self.head
     }
 
     /// Remaining hops to the destination router.
@@ -105,11 +112,13 @@ impl Packet {
     pub(crate) fn advance_hop(&mut self) {
         debug_assert!(self.hop < self.route.hops());
         self.hop += 1;
+        self.head = self.route.hop(self.hop);
     }
 
     /// Replace the remaining route (used when the escape-VC baseline
     /// re-stamps a deadlock-free route from the packet's current router).
     pub fn restamp(&mut self, route: Route, mode: PacketMode) {
+        self.head = route.hop(0);
         self.route = route;
         self.hop = 0;
         self.mode = mode;

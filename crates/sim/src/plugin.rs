@@ -70,6 +70,22 @@ pub enum SlotRef {
 /// The default implementations describe a plain network with no mechanism —
 /// which is correct for the spanning-tree avoidance baseline, whose
 /// deadlock-freedom comes entirely from its routes.
+///
+/// # The wakeup invariant
+///
+/// The switch allocator is change-driven: a router that granted nothing is
+/// skipped until an event that can create a new allocation candidate wakes
+/// it (see [`NetCore::touch`] / [`NetCore::wake_at`]). Every `NetCore`
+/// mutation path already wakes the routers it affects, so a plugin that
+/// changes the network only through `NetCore` methods needs nothing extra.
+/// But a plugin whose [`Plugin::allow_grant`] or [`Plugin::pick_slot`]
+/// answers depend on *internal* plugin state must call
+/// [`NetCore::touch`] for every router a change to that state may unblock —
+/// e.g. the Static Bubble plugin touches a router whenever it sets or
+/// clears that router's `is_deadlock` injection restriction. A missed wake
+/// silently diverges from the reference full sweep
+/// ([`crate::Simulator::scan_all_routers`]); spurious wakes only cost one
+/// empty scan.
 pub trait Plugin {
     /// Called at the start of every cycle, before allocation. Special
     /// message delivery and FSM transitions happen here.

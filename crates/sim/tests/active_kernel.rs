@@ -130,6 +130,105 @@ fn low_load_steady_state_keeps_worklist_sparse() {
     );
 }
 
+// ----------------------------------------------------------------------
+// Wake-on-event equivalence across the full design matrix
+// ----------------------------------------------------------------------
+
+use proptest::prelude::*;
+use sb_scenario::{Design, FaultSpec, Scenario, TrafficSpec};
+
+/// Build one scenario of the sweep and run it in the requested kernel mode.
+fn design_run(
+    design: Design,
+    faults: usize,
+    fault_seed: u64,
+    rate: f64,
+    seed: u64,
+    full_scan: bool,
+) -> Stats {
+    let faults = if faults == 0 {
+        FaultSpec::Pristine
+    } else {
+        FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: faults,
+            seed: fault_seed,
+        }
+    };
+    let mut sim = Scenario::new("ab-sweep", design)
+        .with_mesh(8, 8)
+        .with_faults(faults)
+        .with_traffic(TrafficSpec::Uniform {
+            rate,
+            single_vnet: true,
+        })
+        .with_seed(seed)
+        .build();
+    sim.scan_all_routers(full_scan);
+    sim.warmup(200);
+    sim.run(1_200);
+    sim.stats().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The wakeup kernel is bit-identical to the reference sweep for every
+    /// deadlock design, across random fault patterns and injection rates —
+    /// from near-idle to past the saturation point where the congested /
+    /// blocked regime dominates.
+    #[test]
+    fn wakeup_kernel_matches_reference_across_designs(
+        design_idx in 0usize..4,
+        faults in 0usize..12,
+        fault_seed in any::<u64>(),
+        rate_centi in 1u32..65,
+        seed in any::<u64>(),
+    ) {
+        let design = [
+            Design::Unprotected, // minimal routes, no mechanism
+            Design::SpanningTree, // up*/down* avoidance
+            Design::EscapeVc,
+            Design::StaticBubble,
+        ][design_idx];
+        let rate = rate_centi as f64 / 100.0;
+        let active = design_run(design, faults, fault_seed, rate, seed, false);
+        let reference = design_run(design, faults, fault_seed, rate, seed, true);
+        prop_assert_eq!(active, reference);
+    }
+}
+
+#[test]
+fn wakeup_kernel_matches_reference_through_deadlock_and_recovery() {
+    // The Fig. 3 regime: organic deadlocks form under load and Static
+    // Bubble recovers them, exercising every wake path the plugin owns —
+    // restriction set/clear, bubble activate/deactivate/relocate, TTL
+    // expiry. The whole arc must be bit-identical in both kernel modes, and
+    // the run must actually contain a recovery for the test to mean
+    // anything.
+    let run = |full_scan: bool| {
+        let mut sim = Scenario::new("ab-recovery", Design::StaticBubble)
+            .with_mesh(8, 8)
+            .with_config(SimConfig::single_vnet())
+            .with_traffic(TrafficSpec::Uniform {
+                rate: 0.35,
+                single_vnet: true,
+            })
+            .with_seed(42)
+            .build();
+        sim.scan_all_routers(full_scan);
+        sim.run(2_500);
+        sim.stats().clone()
+    };
+    let active = run(false);
+    let reference = run(true);
+    assert!(
+        active.deadlocks_recovered > 0,
+        "scenario must deadlock and recover to be a meaningful A/B check"
+    );
+    assert_eq!(active, reference);
+}
+
 #[test]
 fn touch_is_idempotent_and_public() {
     let topo = Topology::full(Mesh::new(4, 4));

@@ -138,6 +138,42 @@ fn run_until_deadlock_respects_budget() {
 }
 
 #[test]
+fn run_until_deadlock_never_overshoots_the_budget() {
+    // The last inner batch is clamped to the remaining budget, so a
+    // check interval that does not divide max_cycles still ends exactly
+    // on budget — it used to round up to the next multiple of
+    // check_every.
+    let topo = Topology::full(Mesh::new(3, 3));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        sb_sim::NoTraffic,
+        0,
+    );
+    let before = sim.time();
+    assert_eq!(sim.run_until_deadlock(100, 7), None);
+    assert_eq!(sim.time(), before + 100);
+}
+
+#[test]
+fn run_until_deadlock_check_interval_larger_than_budget() {
+    let topo = Topology::full(Mesh::new(3, 3));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(XyRouting::new(&topo)),
+        NullPlugin,
+        sb_sim::NoTraffic,
+        0,
+    );
+    let before = sim.time();
+    assert_eq!(sim.run_until_deadlock(42, 1_000), None);
+    assert_eq!(sim.time(), before + 42);
+}
+
+#[test]
 fn fairness_index_distinguishes_uniform_from_hotspot() {
     use sb_routing::MinimalRouting;
     use sb_sim::UniformTraffic;

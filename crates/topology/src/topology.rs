@@ -89,6 +89,19 @@ impl Topology {
         self.routers[node.index()]
     }
 
+    /// Is the topology fully functional — every router alive and every
+    /// in-mesh link usable? Pristine meshes admit closed-form answers
+    /// (Manhattan distances, coordinate-derived minimal next hops) that
+    /// routing layers use as fast paths.
+    pub fn is_pristine(&self) -> bool {
+        self.routers.iter().all(|&r| r)
+            && self.mesh.nodes().all(|n| {
+                DIRECTIONS
+                    .into_iter()
+                    .all(|d| self.mesh.neighbor(n, d).is_none() || self.links[n.index()][d.index()])
+            })
+    }
+
     /// Is the link out of `node` towards `dir` usable?
     ///
     /// Requires the link bit set and both endpoint routers alive; always
