@@ -39,7 +39,7 @@ fn main() {
     for app in RodiniaApp::ALL {
         let rows = parallel_map(fault_points.to_vec(), threads, |&(kind, faults)| {
             let mcs = default_memory_controllers(mesh);
-            let batch = sample_topologies_filtered(
+            let (batch, attempts) = sample_topologies_filtered(
                 mesh,
                 kind,
                 faults,
@@ -52,6 +52,13 @@ fn main() {
                     }
                 },
             );
+            if batch.len() < topos {
+                eprintln!(
+                    "fig12: {kind:?}/{faults}: only {}/{topos} topologies passed the filter \
+                     in {attempts} attempts",
+                    batch.len()
+                );
+            }
             if batch.is_empty() {
                 return (kind, faults, None);
             }

@@ -45,9 +45,17 @@ fn main() {
 
     let apps: Vec<ParsecApp> = ParsecApp::ALL.to_vec();
     let rows = parallel_map(apps, threads, |&app| {
-        let batch = sample_topologies_filtered(mesh, FaultKind::Links, 4, topos, 0xF16_0013, |t| {
-            AppTraffic::new(app.profile(), t).is_some()
-        });
+        let (batch, attempts) =
+            sample_topologies_filtered(mesh, FaultKind::Links, 4, topos, 0xF16_0013, |t| {
+                AppTraffic::new(app.profile(), t).is_some()
+            });
+        if batch.len() < topos {
+            eprintln!(
+                "fig13: {app:?}: only {}/{topos} topologies passed the filter in {attempts} \
+                 attempts",
+                batch.len()
+            );
+        }
         let designs = [
             Design::SpanningTree,
             Design::TreeOnly,

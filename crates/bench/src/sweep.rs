@@ -17,6 +17,13 @@ pub struct SweepPoint {
 /// accepted by `filter` (e.g. "memory controllers reachable"); gives up
 /// after `8 × count` attempts so heavily-partitioned fault counts still
 /// terminate.
+///
+/// Returns the accepted topologies plus the number of injection attempts
+/// made. A shortfall (`topologies.len() < count`) is *silent sample-size
+/// erosion* if ignored: a sweep point that filtered out most of its samples
+/// averages over fewer topologies than its neighbours. Callers should
+/// compare `len()` against the requested `count` and at least warn (the
+/// `fig12`/`fig13` binaries do).
 pub fn sample_topologies_filtered(
     mesh: Mesh,
     kind: FaultKind,
@@ -24,14 +31,16 @@ pub fn sample_topologies_filtered(
     count: usize,
     base_seed: u64,
     mut filter: impl FnMut(&Topology) -> bool,
-) -> Vec<Topology> {
+) -> (Vec<Topology>, usize) {
     use rand::SeedableRng;
     let model = FaultModel::new(kind, faults);
     let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
     for i in 0..(count * 8) {
         if out.len() == count {
             break;
         }
+        attempts = i + 1;
         let mut rng = rand::rngs::StdRng::seed_from_u64(
             base_seed ^ 0xC0FF_EE00_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
@@ -40,7 +49,7 @@ pub fn sample_topologies_filtered(
             out.push(topo);
         }
     }
-    out
+    (out, attempts)
 }
 
 /// Map `f` over `items` on up to `threads` OS threads (order-preserving).
@@ -143,15 +152,30 @@ mod tests {
     #[test]
     fn sampling_respects_filter() {
         let mesh = Mesh::new(6, 6);
-        let topos = sample_topologies_filtered(mesh, FaultKind::Links, 8, 5, 42, |t| {
+        let (topos, attempts) = sample_topologies_filtered(mesh, FaultKind::Links, 8, 5, 42, |t| {
             !t.has_undirected_cycle() // absurd filter: rarely true at 8 faults
         });
         for t in &topos {
             assert!(!t.has_undirected_cycle());
         }
+        assert!(attempts <= 40);
         // The permissive filter always fills the quota.
-        let all = sample_topologies_filtered(mesh, FaultKind::Links, 8, 5, 42, |_| true);
+        let (all, attempts) =
+            sample_topologies_filtered(mesh, FaultKind::Links, 8, 5, 42, |_| true);
         assert_eq!(all.len(), 5);
+        assert_eq!(attempts, 5, "permissive filter accepts every attempt");
+    }
+
+    #[test]
+    fn sampling_reports_shortfall_instead_of_hiding_it() {
+        // A filter nothing passes: the sampler must exhaust its attempt
+        // budget, return an empty set, and report how hard it tried — not
+        // pretend the quota was met.
+        let mesh = Mesh::new(6, 6);
+        let (topos, attempts) =
+            sample_topologies_filtered(mesh, FaultKind::Links, 4, 5, 42, |_| false);
+        assert!(topos.is_empty());
+        assert_eq!(attempts, 40, "gave up only after the full 8x budget");
     }
 
     #[test]

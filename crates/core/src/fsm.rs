@@ -52,6 +52,67 @@ pub enum FsmState {
     SEnable,
 }
 
+impl FsmState {
+    /// All six states, in Fig. 5 order.
+    pub const ALL: [FsmState; 6] = [
+        FsmState::SOff,
+        FsmState::SDd,
+        FsmState::SDisable,
+        FsmState::SSbActive,
+        FsmState::SCheckProbe,
+        FsmState::SEnable,
+    ];
+
+    /// Is `from -> to` an edge of the Fig. 5 transition diagram?
+    ///
+    /// Self-loops are always allowed (a state re-asserting itself is not a
+    /// transition). The directed edges are exactly:
+    ///
+    /// * `SOff -> SDd` (a VC became occupied; start counting),
+    /// * `SDd -> SOff` (the watched packet left and nothing else is stalled,
+    ///   or a higher-id disable was processed),
+    /// * `SDd -> SDisable` (probe returned and latched),
+    /// * `SDisable -> SSbActive` (disable returned; bubble on),
+    /// * `SDisable -> SEnable` (disable timed out),
+    /// * `SSbActive -> SCheckProbe` (bubble reclaimed, fast re-check),
+    /// * `SSbActive -> SEnable` (occupied-bubble watchdog, or the
+    ///   check-probe ablation going straight to enable),
+    /// * `SCheckProbe -> SSbActive` (check-probe returned; chain still
+    ///   deadlocked),
+    /// * `SCheckProbe -> SEnable` (check-probe timed out),
+    /// * `SEnable -> SOff` (enable returned or the FSM gave up).
+    ///
+    /// The runtime auditor ([`sb_sim::audit`]) treats any other edge as an
+    /// FSM-legality violation.
+    pub fn transition_allowed(from: FsmState, to: FsmState) -> bool {
+        use FsmState::*;
+        from == to
+            || matches!(
+                (from, to),
+                (SOff, SDd)
+                    | (SDd, SOff)
+                    | (SDd, SDisable)
+                    | (SDisable, SSbActive)
+                    | (SDisable, SEnable)
+                    | (SSbActive, SCheckProbe)
+                    | (SSbActive, SEnable)
+                    | (SCheckProbe, SSbActive)
+                    | (SCheckProbe, SEnable)
+                    | (SEnable, SOff)
+            )
+    }
+}
+
+/// An FSM transition outside the Fig. 5 edge set, recorded by
+/// [`SbFsm::goto`] at transition time and drained by the runtime auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IllegalTransition {
+    /// The state the FSM left.
+    pub from: FsmState,
+    /// The state it entered.
+    pub to: FsmState,
+}
+
 /// The per-router FSM + counter + turn buffer + recovery-local registers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SbFsm {
@@ -86,6 +147,12 @@ pub struct SbFsm {
     /// sustained congestion so that genuine cycle probes survive their lap
     /// (deviation, DESIGN.md).
     pub probe_backoff: u32,
+    /// Illegal transitions recorded by [`SbFsm::goto`], awaiting drain by
+    /// the runtime auditor ([`SbFsm::take_illegal`]). Recording at
+    /// transition time makes the FSM-legality audit exact at any audit
+    /// cadence — a sampled state check would miss edges taken and undone
+    /// between two audits.
+    pub illegal: Vec<IllegalTransition>,
 }
 
 impl SbFsm {
@@ -104,7 +171,26 @@ impl SbFsm {
             chain_in: Direction::North,
             enable_retries: 0,
             probe_backoff: 0,
+            illegal: Vec::new(),
         }
+    }
+
+    /// Move to `to`, recording the edge if it is outside the Fig. 5
+    /// transition diagram. All plugin-driven state changes go through here
+    /// so the auditor sees every transition, not just sampled states.
+    pub fn goto(&mut self, to: FsmState) {
+        if !FsmState::transition_allowed(self.state, to) {
+            self.illegal.push(IllegalTransition {
+                from: self.state,
+                to,
+            });
+        }
+        self.state = to;
+    }
+
+    /// Drain the illegal transitions recorded since the last call.
+    pub fn take_illegal(&mut self) -> Vec<IllegalTransition> {
+        std::mem::take(&mut self.illegal)
     }
 
     /// Restart the counter ("rsc" in Fig. 5).
@@ -133,7 +219,7 @@ impl SbFsm {
         self.probe_backoff = 0;
         self.tdr = 2 * (turns.len() as u64 + 1);
         self.turn_buffer = turns;
-        self.state = FsmState::SDisable;
+        self.goto(FsmState::SDisable);
         self.restart_counter();
     }
 
@@ -144,7 +230,7 @@ impl SbFsm {
         self.turn_buffer.clear();
         self.tdr = 0;
         self.watching = None;
-        self.state = FsmState::SOff;
+        self.goto(FsmState::SOff);
         self.restart_counter();
     }
 }
@@ -196,6 +282,31 @@ mod tests {
         fsm.latch_probe(vec![Turn::Left; 4]);
         assert_eq!(fsm.probe_backoff, 0);
         assert_eq!(fsm.tdr, 10);
+    }
+
+    #[test]
+    fn self_loops_are_always_legal() {
+        for s in FsmState::ALL {
+            assert!(FsmState::transition_allowed(s, s));
+        }
+    }
+
+    #[test]
+    fn goto_records_illegal_edges_and_drains() {
+        let mut fsm = SbFsm::new(NodeId(0), 10);
+        fsm.goto(FsmState::SDd);
+        assert!(fsm.take_illegal().is_empty());
+        // SDd -> SEnable skips the whole recovery handshake: not an edge.
+        fsm.goto(FsmState::SEnable);
+        assert_eq!(
+            fsm.take_illegal(),
+            vec![IllegalTransition {
+                from: FsmState::SDd,
+                to: FsmState::SEnable
+            }]
+        );
+        assert!(fsm.take_illegal().is_empty());
+        assert_eq!(fsm.state, FsmState::SEnable);
     }
 
     #[test]

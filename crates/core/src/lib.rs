@@ -52,7 +52,7 @@ pub mod msg;
 pub mod placement;
 pub mod plugin;
 
-pub use fsm::{FsmState, SbFsm};
+pub use fsm::{FsmState, IllegalTransition, SbFsm};
 pub use microarch::{MessageBudget, RouterStateBits};
 pub use msg::{MsgKind, SpecialMsg, TURN_CAPACITY};
 pub use placement::{

@@ -22,9 +22,9 @@
 use crate::fsm::{FsmState, SbFsm, VcPointer};
 use crate::msg::{InFlightMsg, MsgKind, SpecialMsg};
 use crate::placement;
-use sb_sim::{InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef};
+use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, Violation};
 use sb_topology::{Direction, Mesh, NodeId, Turn, DIRECTIONS};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-router protocol registers present in **every** router (SB or not):
 /// the `is_deadlock` bit, the IO-priority buffer and the source-id buffer.
@@ -41,6 +41,22 @@ struct ProtState {
     /// router forever. Normal recoveries clear restrictions via enables long
     /// before the TTL fires.
     expires_at: u64,
+}
+
+/// Capacity of the recent special-message ring kept for forensics.
+const RECENT_MSG_CAP: usize = 64;
+
+/// One transmission in the recent special-message ring (forensics only; no
+/// protocol behaviour depends on it).
+#[derive(Debug, Clone)]
+struct MsgRecord {
+    time: u64,
+    from: NodeId,
+    out: Direction,
+    to: NodeId,
+    kind: MsgKind,
+    sender: NodeId,
+    vnet: u8,
 }
 
 /// What to do with a message after local evaluation.
@@ -83,6 +99,9 @@ pub struct StaticBubblePlugin {
     /// TTL of `is_deadlock` restrictions (cycles).
     restriction_ttl: u64,
     opts: SbOptions,
+    /// Ring of the last [`RECENT_MSG_CAP`] special-message transmissions,
+    /// reported by [`Plugin::forensic_lines`].
+    recent: VecDeque<MsgRecord>,
 }
 
 impl StaticBubblePlugin {
@@ -121,6 +140,7 @@ impl StaticBubblePlugin {
             tdd,
             restriction_ttl: 64 * tdd.max(1),
             opts,
+            recent: VecDeque::with_capacity(RECENT_MSG_CAP),
         }
     }
 
@@ -132,6 +152,13 @@ impl StaticBubblePlugin {
     /// The FSM of a static-bubble router, if `node` is one.
     pub fn fsm(&self, node: NodeId) -> Option<&SbFsm> {
         self.fsms.get(&node)
+    }
+
+    /// Mutable access to the FSM of a static-bubble router — a test hook
+    /// for seeding auditor violations. Production transitions go through
+    /// the plugin's own message handlers.
+    pub fn fsm_mut(&mut self, node: NodeId) -> Option<&mut SbFsm> {
+        self.fsms.get_mut(&node)
     }
 
     /// Number of routers currently frozen (`is_deadlock` set).
@@ -178,6 +205,18 @@ impl StaticBubblePlugin {
             .neighbor(from, out)
             .expect("alive link");
         core.stats_mut().special_link_flits[msg.kind.stat_class().index()] += 1;
+        if self.recent.len() == RECENT_MSG_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(MsgRecord {
+            time: core.time(),
+            from,
+            out,
+            to,
+            kind: msg.kind,
+            sender: msg.sender,
+            vnet: msg.vnet,
+        });
         self.in_flight.push(InFlightMsg {
             in_port: out.opposite(),
             arrive_at: core.time() + 2,
@@ -338,7 +377,7 @@ impl StaticBubblePlugin {
                 // disable sends its counter to SOff.
                 if let Some(fsm) = self.fsms.get_mut(&router) {
                     debug_assert!(!fsm.in_recovery());
-                    fsm.state = FsmState::SOff;
+                    fsm.goto(FsmState::SOff);
                     fsm.watching = None;
                     fsm.restart_counter();
                 }
@@ -447,7 +486,7 @@ impl StaticBubblePlugin {
                     DBG_DISFAIL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return; // timeout will send the enable
                 }
-                fsm.state = FsmState::SSbActive;
+                fsm.goto(FsmState::SSbActive);
                 fsm.chain_in = in_port;
                 fsm.restart_counter();
                 let vnet = msg.vnet;
@@ -468,7 +507,7 @@ impl StaticBubblePlugin {
                     return;
                 }
                 // The chain is still deadlocked: open the bubble again.
-                fsm.state = FsmState::SSbActive;
+                fsm.goto(FsmState::SSbActive);
                 fsm.restart_counter();
                 let (port, vnet) = (fsm.chain_in, fsm.probe_vnet);
                 core.bubble_activate(router, port, vnet);
@@ -491,7 +530,7 @@ impl StaticBubblePlugin {
                 let fsm = self.fsms.get_mut(&router).expect("still an SB node");
                 if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
                     fsm.watching = Some(ptr);
-                    fsm.state = FsmState::SDd;
+                    fsm.goto(FsmState::SDd);
                     fsm.restart_counter();
                 }
             }
@@ -570,7 +609,7 @@ impl StaticBubblePlugin {
             FsmState::SOff => {
                 if let Some(ptr) = Self::next_occupied_vc(core, router, None) {
                     fsm.watching = Some(ptr);
-                    fsm.state = FsmState::SDd;
+                    fsm.goto(FsmState::SDd);
                     fsm.restart_counter();
                 }
             }
@@ -625,7 +664,7 @@ impl StaticBubblePlugin {
                             }
                             None => {
                                 fsm.watching = None;
-                                fsm.state = FsmState::SOff;
+                                fsm.goto(FsmState::SOff);
                                 fsm.restart_counter();
                             }
                         }
@@ -637,7 +676,7 @@ impl StaticBubblePlugin {
                 if fsm.count > fsm.tdr {
                     // The disable/check-probe was dropped mid-way: release
                     // the restrictions placed so far.
-                    fsm.state = FsmState::SEnable;
+                    fsm.goto(FsmState::SEnable);
                     fsm.restart_counter();
                     let enable = SpecialMsg::with_path(
                         MsgKind::Enable,
@@ -669,7 +708,7 @@ impl StaticBubblePlugin {
                         let fsm = self.fsms.get_mut(&router).expect("SB node");
                         if let Some(ptr) = Self::next_occupied_vc(core, router, after) {
                             fsm.watching = Some(ptr);
-                            fsm.state = FsmState::SDd;
+                            fsm.goto(FsmState::SDd);
                             fsm.restart_counter();
                         }
                         return;
@@ -699,7 +738,7 @@ impl StaticBubblePlugin {
                 if bubble_empty {
                     fsm.count += 1;
                     if fsm.count > fsm.tdr {
-                        fsm.state = FsmState::SCheckProbe;
+                        fsm.goto(FsmState::SCheckProbe);
                         fsm.restart_counter();
                         let cp = SpecialMsg::with_path(
                             MsgKind::CheckProbe,
@@ -725,7 +764,7 @@ impl StaticBubblePlugin {
                     let occupied_watchdog = (8 * fsm.tdr).max(4 * fsm.tdd);
                     if fsm.count > occupied_watchdog {
                         core.bubble_deactivate(router);
-                        fsm.state = FsmState::SEnable;
+                        fsm.goto(FsmState::SEnable);
                         fsm.restart_counter();
                         let enable = SpecialMsg::with_path(
                             MsgKind::Enable,
@@ -892,16 +931,172 @@ impl Plugin for StaticBubblePlugin {
         // (or, with the fast path ablated, go straight to the enable).
         core.bubble_deactivate(router);
         let kind = if self.opts.check_probe {
-            fsm.state = FsmState::SCheckProbe;
+            fsm.goto(FsmState::SCheckProbe);
             MsgKind::CheckProbe
         } else {
-            fsm.state = FsmState::SEnable;
+            fsm.goto(FsmState::SEnable);
             MsgKind::Enable
         };
         fsm.restart_counter();
         let m = SpecialMsg::with_path(kind, router, fsm.probe_vnet, fsm.turn_buffer.clone());
         let out = fsm.probe_out;
         self.send(core, router, out, m);
+    }
+
+    fn audit_check(&mut self, core: &NetCore, out: &mut Vec<Violation>) {
+        // (a) FSM edges outside the Fig. 5 diagram, recorded by goto() at
+        // transition time so nothing slips between two audits.
+        for (&node, fsm) in self.fsms.iter_mut() {
+            for it in fsm.take_illegal() {
+                out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: format!("illegal FSM transition {:?} -> {:?}", it.from, it.to),
+                });
+            }
+        }
+        for (&node, fsm) in self.fsms.iter() {
+            // (b) Bubble attachment <=> FSM in SSbActive, with the attach
+            // port/vnet agreeing with the latched chain.
+            let attach = core.bubble(node).and_then(|b| b.attach);
+            match (fsm.state == FsmState::SSbActive, attach) {
+                (true, None) => out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: "FSM is SSbActive but the bubble is deactivated".to_string(),
+                }),
+                (false, Some(_)) => out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: format!("bubble attached while FSM is {:?}", fsm.state),
+                }),
+                (true, Some((port, vnet))) => {
+                    if port != fsm.chain_in || vnet != fsm.probe_vnet {
+                        out.push(Violation {
+                            class: AuditClass::FsmLegality,
+                            router: Some(node),
+                            detail: format!(
+                                "bubble attach ({:?}, vnet {}) disagrees with the latched \
+                                 chain ({:?}, vnet {})",
+                                port, vnet, fsm.chain_in, fsm.probe_vnet
+                            ),
+                        });
+                    }
+                }
+                (false, None) => {}
+            }
+            // (c) Detection always has a pointer.
+            if fsm.state == FsmState::SDd && fsm.watching.is_none() {
+                out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: "FSM in SDd without a watched VC".to_string(),
+                });
+            }
+        }
+        // (d) Attached bubbles exist only at static-bubble routers.
+        for node in core.topology().mesh().nodes() {
+            if core.bubble(node).is_some_and(|b| b.attach.is_some())
+                && !self.fsms.contains_key(&node)
+            {
+                out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: "bubble attached at a router with no FSM".to_string(),
+                });
+            }
+        }
+        // (e) Restriction registers are consistent: frozen => io + source
+        // present with an SB source; a self-frozen SB node must be in
+        // recovery; unfrozen => registers clear.
+        for (i, p) in self.prot.iter().enumerate() {
+            let node = NodeId::from(i);
+            if p.is_deadlock {
+                let (Some(_), Some(src)) = (p.io, p.source) else {
+                    out.push(Violation {
+                        class: AuditClass::FsmLegality,
+                        router: Some(node),
+                        detail: "frozen router with missing io/source registers".to_string(),
+                    });
+                    continue;
+                };
+                if !self.fsms.contains_key(&src) {
+                    out.push(Violation {
+                        class: AuditClass::FsmLegality,
+                        router: Some(node),
+                        detail: format!(
+                            "restriction source n{} is not a static-bubble node",
+                            src.0
+                        ),
+                    });
+                } else if src == node && !self.fsms[&node].in_recovery() {
+                    out.push(Violation {
+                        class: AuditClass::FsmLegality,
+                        router: Some(node),
+                        detail: "self-frozen SB router whose FSM is not in recovery".to_string(),
+                    });
+                }
+            } else if p.io.is_some() || p.source.is_some() {
+                out.push(Violation {
+                    class: AuditClass::FsmLegality,
+                    router: Some(node),
+                    detail: "unfrozen router with stale io/source registers".to_string(),
+                });
+            }
+        }
+    }
+
+    fn forensic_lines(&self, core: &NetCore) -> Vec<String> {
+        let _ = core;
+        let mut lines = Vec::new();
+        for (&node, fsm) in &self.fsms {
+            if fsm.state == FsmState::SOff {
+                continue;
+            }
+            lines.push(format!(
+                "fsm n{}: {:?} count={} tdd={} tdr={} probe_out={:?} chain_in={:?} vnet={} \
+                 retries={} watching={:?}",
+                node.0,
+                fsm.state,
+                fsm.count,
+                fsm.effective_tdd(),
+                fsm.tdr,
+                fsm.probe_out,
+                fsm.chain_in,
+                fsm.probe_vnet,
+                fsm.enable_retries,
+                fsm.watching,
+            ));
+        }
+        for (i, p) in self.prot.iter().enumerate() {
+            if p.is_deadlock {
+                lines.push(format!(
+                    "frozen n{}: io={:?} source=n{} expires_at={}",
+                    i,
+                    p.io,
+                    p.source.map_or(u16::MAX, |s| s.0),
+                    p.expires_at,
+                ));
+            }
+        }
+        for m in &self.in_flight {
+            lines.push(format!(
+                "in-flight {:?} sender=n{} to=n{} in_port={:?} arrive_at={} turns={}",
+                m.msg.kind,
+                m.msg.sender.0,
+                m.to.0,
+                m.in_port,
+                m.arrive_at,
+                m.msg.turns.len(),
+            ));
+        }
+        for r in &self.recent {
+            lines.push(format!(
+                "sent @{}: {:?} sender=n{} hop n{} -> n{} out={:?} vnet={}",
+                r.time, r.kind, r.sender.0, r.from.0, r.to.0, r.out, r.vnet,
+            ));
+        }
+        lines
     }
 }
 

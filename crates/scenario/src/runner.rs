@@ -10,7 +10,7 @@
 
 use std::any::Any;
 
-use sb_sim::{EscapeVcPlugin, NetCore, Plugin, Simulator, Stats, TrafficSource};
+use sb_sim::{EscapeVcPlugin, ForensicsReport, NetCore, Plugin, Simulator, Stats, TrafficSource};
 
 /// A live simulation, abstracted over plugin and traffic types.
 pub trait SimRunner {
@@ -29,8 +29,19 @@ pub trait SimRunner {
     fn core(&self) -> &NetCore;
     /// Does the deadlock oracle flag the current state?
     fn deadlocked_now(&self) -> bool;
+    /// Run until the oracle detects a deadlock (checked every `check_every`
+    /// cycles) or `max_cycles` elapse; `Some(time)` on detection, with a
+    /// [`ForensicsReport`] left for [`SimRunner::take_forensics`].
+    fn run_until_deadlock(&mut self, max_cycles: u64, check_every: u64) -> Option<u64>;
     /// Toggle the reference full-sweep kernel (A/B testing the worklist).
     fn scan_all_routers(&mut self, enable: bool);
+    /// Audit every `every` cycles (0 = off). See [`sb_sim::audit`].
+    fn set_audit(&mut self, every: u64);
+    /// Audit immediately; `Some` report if any invariant is violated.
+    fn audit_now(&mut self) -> Option<ForensicsReport>;
+    /// Take the most recent forensics report (audit failure or detected
+    /// deadlock), leaving `None` behind.
+    fn take_forensics(&mut self) -> Option<ForensicsReport>;
     /// The deadlock plugin, type-erased; downcast to the concrete type.
     fn plugin_any(&self) -> &dyn Any;
     /// The traffic source, type-erased; downcast to the concrete type.
@@ -78,8 +89,24 @@ impl<P: Plugin + 'static, T: TrafficSource + 'static> SimRunner for Runner<P, T>
         self.0.deadlocked_now()
     }
 
+    fn run_until_deadlock(&mut self, max_cycles: u64, check_every: u64) -> Option<u64> {
+        self.0.run_until_deadlock(max_cycles, check_every)
+    }
+
     fn scan_all_routers(&mut self, enable: bool) {
         self.0.scan_all_routers(enable);
+    }
+
+    fn set_audit(&mut self, every: u64) {
+        self.0.set_audit(every);
+    }
+
+    fn audit_now(&mut self) -> Option<ForensicsReport> {
+        self.0.audit_now()
+    }
+
+    fn take_forensics(&mut self) -> Option<ForensicsReport> {
+        self.0.take_forensics()
     }
 
     fn plugin_any(&self) -> &dyn Any {

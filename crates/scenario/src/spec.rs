@@ -119,6 +119,9 @@ pub struct Scenario {
     pub cycles: u64,
     /// Simulation seed (injection process and VC tie-breaks).
     pub seed: u64,
+    /// Run the invariant auditor every this-many cycles (0 = off, the
+    /// production default). See [`sb_sim::audit`].
+    pub audit_every: u64,
 }
 
 impl Scenario {
@@ -144,6 +147,7 @@ impl Scenario {
             warmup: 1_000,
             cycles: 10_000,
             seed: 1,
+            audit_every: 0,
         }
     }
 
@@ -232,6 +236,12 @@ impl Scenario {
         self
     }
 
+    /// Enable the invariant auditor every `every` cycles (0 = off).
+    pub fn with_audit_every(mut self, every: u64) -> Self {
+        self.audit_every = every;
+        self
+    }
+
     /// The mesh substrate.
     pub fn mesh(&self) -> Mesh {
         Mesh::new(self.width, self.height)
@@ -314,7 +324,7 @@ impl Scenario {
         traffic: T,
     ) -> Box<dyn SimRunner> {
         let planner = self.design.planner(topo);
-        match self.design {
+        let mut runner: Box<dyn SimRunner> = match self.design {
             Design::SpanningTree | Design::TreeOnly | Design::Unprotected => Box::new(Runner(
                 Simulator::new(topo, self.config, planner, NullPlugin, traffic, self.seed),
             )),
@@ -338,7 +348,9 @@ impl Scenario {
                     &bubbles,
                 )))
             }
-        }
+        };
+        runner.set_audit(self.audit_every);
+        runner
     }
 
     /// Build, warm up and run the measurement window on a fresh topology.

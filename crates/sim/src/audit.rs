@@ -1,0 +1,338 @@
+//! Runtime invariant auditor + deadlock forensics.
+//!
+//! The paper's figures rest on exact accounting, and PR 2's change-driven
+//! allocation kernel made the hot loop subtle enough that A/B sweeps alone
+//! are a thin safety net. This module is the paranoid backstop: a
+//! runtime-toggleable audit pass (see [`crate::Simulator::set_audit`]) that
+//! re-derives the invariants the simulator is supposed to maintain and, on
+//! any violation — or whenever the deadlock oracle fires — assembles a
+//! serializable [`ForensicsReport`] instead of a bare panic.
+//!
+//! Four invariant classes are checked:
+//!
+//! * **Conservation** — `offered = in-network + delivered + dropped + lost`
+//!   for packets and flits, globally and per vnet ([`check_conservation`]);
+//! * **VC legality** — structural capacity, draining slots expire within a
+//!   packet length, occupants sit in a VC of their own vnet, hop-pipeline
+//!   timestamps are in bounds ([`check_vc_legality`]);
+//! * **FSM legality** — only the Fig. 6 transition edges, one owner per
+//!   bubble, disable implies restriction (plugin-owned, via
+//!   [`crate::Plugin::audit_check`]);
+//! * **Wakeup** — a quiescent-blocked router must have no grantable
+//!   candidate, checked against a fresh scan (engine-owned, since only the
+//!   engine can run the allocator's candidate search).
+
+use crate::deadlock::{describe_cycle, is_deadlocked, WaitForEdge};
+use crate::inspect::Snapshot;
+use crate::netcore::NetCore;
+use crate::stats::{Stats, MAX_VNETS};
+use sb_topology::{NodeId, DIRECTIONS};
+use serde::{Deserialize, Serialize};
+
+/// The invariant class a [`Violation`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditClass {
+    /// Packet/flit conservation (`offered = in-network + delivered +
+    /// dropped + lost`), globally and per vnet.
+    Conservation,
+    /// Credit/VC legality: capacity, draining expiry, vnet residency,
+    /// timestamp bounds, bubble attach consistency.
+    VcLegality,
+    /// Static Bubble FSM legality: Fig. 6 edges only, bubble/FSM agreement,
+    /// disable implies restriction.
+    FsmLegality,
+    /// The change-driven kernel's wakeup invariant: quiescent-blocked
+    /// routers have no grantable candidate.
+    Wakeup,
+}
+
+impl std::fmt::Display for AuditClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AuditClass::Conservation => "conservation",
+            AuditClass::VcLegality => "vc-legality",
+            AuditClass::FsmLegality => "fsm-legality",
+            AuditClass::Wakeup => "wakeup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One violated invariant, with enough detail to localize it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which invariant class was broken.
+    pub class: AuditClass,
+    /// The router the violation localizes to, when it localizes at all.
+    pub router: Option<NodeId>,
+    /// Human-readable specifics (the unbalanced equation, the illegal
+    /// edge, the stuck candidate).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.router {
+            Some(r) => write!(f, "[{}] at {}: {}", self.class, r, self.detail),
+            None => write!(f, "[{}] {}", self.class, self.detail),
+        }
+    }
+}
+
+/// Everything needed to debug a violation or a wedged network after the
+/// fact, serializable for offline analysis. See `DESIGN.md` for how to read
+/// the wait-for cycle dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForensicsReport {
+    /// Cycle the report was assembled.
+    pub time: u64,
+    /// The violations that triggered it (empty when the trigger was the
+    /// deadlock oracle alone).
+    pub violations: Vec<Violation>,
+    /// Was the network deadlocked (oracle verdict) at capture time?
+    pub deadlocked: bool,
+    /// One concrete annotated wait-for cycle, if any exists.
+    pub wait_cycle: Vec<WaitForEdge>,
+    /// Structural occupancy snapshot.
+    pub snapshot: Snapshot,
+    /// ASCII occupancy heat map ([`NetCore::occupancy_art`]).
+    pub occupancy_art: String,
+    /// Plugin-side protocol state: FSM states along the cycle, active
+    /// restrictions, recent special-message history
+    /// ([`crate::Plugin::forensic_lines`]).
+    pub plugin_lines: Vec<String>,
+    /// The statistics block at capture time.
+    pub stats: Stats,
+}
+
+impl std::fmt::Display for ForensicsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== forensics @ cycle {} ===", self.time)?;
+        writeln!(
+            f,
+            "deadlocked: {}; in-flight {} / queued {}",
+            self.deadlocked, self.snapshot.in_flight, self.snapshot.queued
+        )?;
+        for v in &self.violations {
+            writeln!(f, "violation: {v}")?;
+        }
+        if !self.wait_cycle.is_empty() {
+            writeln!(f, "wait-for cycle ({} edges):", self.wait_cycle.len())?;
+            for e in &self.wait_cycle {
+                writeln!(
+                    f,
+                    "  {:?} pkt {} vnet {} wants {:?}",
+                    e.buffer, e.pkt.0, e.vnet, e.wants
+                )?;
+            }
+        }
+        for line in &self.plugin_lines {
+            writeln!(f, "plugin: {line}")?;
+        }
+        write!(f, "{}", self.occupancy_art)
+    }
+}
+
+impl ForensicsReport {
+    /// Assemble a report from the current network state. `violations` are
+    /// whatever the audit pass collected (may be empty when the trigger was
+    /// the deadlock oracle); `plugin_lines` comes from
+    /// [`crate::Plugin::forensic_lines`].
+    pub fn capture(core: &NetCore, violations: Vec<Violation>, plugin_lines: Vec<String>) -> Self {
+        ForensicsReport {
+            time: core.time(),
+            violations,
+            deadlocked: is_deadlocked(core),
+            wait_cycle: describe_cycle(core),
+            snapshot: Snapshot::capture(core),
+            occupancy_art: core.occupancy_art(),
+            plugin_lines,
+            stats: core.stats().clone(),
+        }
+    }
+}
+
+/// Check packet and flit conservation: every offer must be accounted for as
+/// in-network (VC, bubble, or source queue), delivered, dropped, or lost —
+/// globally and per vnet. Pushes one violation per unbalanced equation.
+pub fn check_conservation(core: &NetCore, out: &mut Vec<Violation>) {
+    let res = core.resident();
+    let s = core.stats();
+    let push = |out: &mut Vec<Violation>, detail: String| {
+        out.push(Violation {
+            class: AuditClass::Conservation,
+            router: None,
+            detail,
+        });
+    };
+    let in_net_pkts = res.packets + res.queued_packets;
+    let accounted_pkts = in_net_pkts + s.delivered_packets + s.dropped_packets + s.lost_packets;
+    if s.offered_packets != accounted_pkts {
+        push(
+            out,
+            format!(
+                "packets: offered {} != in-network {} + delivered {} + dropped {} + lost {}",
+                s.offered_packets,
+                in_net_pkts,
+                s.delivered_packets,
+                s.dropped_packets,
+                s.lost_packets
+            ),
+        );
+    }
+    let in_net_flits = res.flits + res.queued_flits;
+    let accounted_flits = in_net_flits + s.delivered_flits + s.dropped_flits + s.lost_flits;
+    if s.offered_flits != accounted_flits {
+        push(
+            out,
+            format!(
+                "flits: offered {} != in-network {} + delivered {} + dropped {} + lost {}",
+                s.offered_flits, in_net_flits, s.delivered_flits, s.dropped_flits, s.lost_flits
+            ),
+        );
+    }
+    for v in 0..MAX_VNETS {
+        let in_net = res.packets_vnet[v] + res.queued_packets_vnet[v];
+        let accounted = in_net
+            + s.delivered_packets_vnet[v]
+            + s.dropped_packets_vnet[v]
+            + s.lost_packets_vnet[v];
+        if s.offered_packets_vnet[v] != accounted {
+            push(
+                out,
+                format!(
+                    "vnet {v} packets: offered {} != in-network {in_net} + delivered {} \
+                     + dropped {} + lost {}",
+                    s.offered_packets_vnet[v],
+                    s.delivered_packets_vnet[v],
+                    s.dropped_packets_vnet[v],
+                    s.lost_packets_vnet[v]
+                ),
+            );
+        }
+    }
+}
+
+/// Check credit/VC legality at every router: structural capacity, draining
+/// slots that expire within one packet length, occupants resident in a VC
+/// of their own vnet with in-bounds hop-pipeline timestamps, and bubble
+/// occupants consistent with the attach.
+pub fn check_vc_legality(core: &NetCore, out: &mut Vec<Violation>) {
+    use crate::vc::VcSlot;
+    let cfg = core.config();
+    let now = core.time();
+    let drain_bound = now + cfg.max_packet_flits as u64;
+    let ready_bound = now + crate::engine::HOP_LATENCY;
+    for router in core.topology().mesh().nodes() {
+        let mut fail = |detail: String| {
+            out.push(Violation {
+                class: AuditClass::VcLegality,
+                router: Some(router),
+                detail,
+            });
+        };
+        for port in DIRECTIONS {
+            let slots = core.vcs_at(router, port);
+            if slots.len() != cfg.vcs_per_port() {
+                fail(format!(
+                    "port {port:?}: {} VC slots, capacity is {}",
+                    slots.len(),
+                    cfg.vcs_per_port()
+                ));
+                continue;
+            }
+            for (i, slot) in slots.iter().enumerate() {
+                match slot {
+                    VcSlot::Free => {}
+                    VcSlot::Draining { until } => {
+                        if *until > drain_bound {
+                            fail(format!(
+                                "port {port:?} vc {i}: draining until {until} \
+                                 > bound {drain_bound} (never expires)"
+                            ));
+                        }
+                    }
+                    VcSlot::Occupied(occ) => {
+                        if cfg.vnet_of(i as u8) != occ.pkt.vnet {
+                            fail(format!(
+                                "port {port:?} vc {i} (vnet {}) holds pkt {} of vnet {}",
+                                cfg.vnet_of(i as u8),
+                                occ.pkt.id.0,
+                                occ.pkt.vnet
+                            ));
+                        }
+                        if occ.ready_at > ready_bound {
+                            fail(format!(
+                                "port {port:?} vc {i}: ready_at {} > bound {ready_bound}",
+                                occ.ready_at
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(b) = core.bubble(router) {
+            match &b.slot {
+                VcSlot::Free => {}
+                VcSlot::Draining { until } => {
+                    if *until > drain_bound {
+                        fail(format!(
+                            "bubble: draining until {until} > bound {drain_bound}"
+                        ));
+                    }
+                }
+                VcSlot::Occupied(occ) => {
+                    // A deactivated bubble may still drain an occupant, but
+                    // an *attached* bubble must agree with its occupant.
+                    if let Some((_, vnet)) = b.attach {
+                        if vnet != occ.pkt.vnet {
+                            fail(format!(
+                                "bubble attached for vnet {vnet} holds pkt {} of vnet {}",
+                                occ.pkt.id.0, occ.pkt.vnet
+                            ));
+                        }
+                    }
+                    if occ.ready_at > ready_bound {
+                        fail(format!(
+                            "bubble: ready_at {} > bound {ready_bound}",
+                            occ.ready_at
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use sb_topology::{Mesh, Topology};
+
+    #[test]
+    fn fresh_core_audits_clean() {
+        let topo = Topology::full(Mesh::new(4, 4));
+        let core = NetCore::new(&topo, SimConfig::default(), &[NodeId(5)]);
+        let mut v = Vec::new();
+        check_conservation(&core, &mut v);
+        check_vc_legality(&core, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn violation_displays_class_and_detail() {
+        let v = Violation {
+            class: AuditClass::Conservation,
+            router: None,
+            detail: "demo".into(),
+        };
+        assert_eq!(format!("{v}"), "[conservation] demo");
+        let v = Violation {
+            class: AuditClass::Wakeup,
+            router: Some(NodeId(3)),
+            detail: "stuck".into(),
+        };
+        assert!(format!("{v}").contains("wakeup"));
+    }
+}

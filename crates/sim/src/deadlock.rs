@@ -16,9 +16,11 @@
 //! fixpoint from live seeds.
 
 use crate::netcore::NetCore;
+use crate::packet::PacketId;
 use crate::plugin::InputRef;
 use crate::vc::VcRef;
-use sb_topology::{NodeId, DIRECTIONS};
+use sb_topology::{Direction, NodeId, DIRECTIONS};
+use serde::{Deserialize, Serialize};
 
 use std::collections::VecDeque;
 
@@ -241,6 +243,44 @@ pub fn find_dependency_cycle(core: &NetCore) -> Option<Vec<InputRef>> {
     None
 }
 
+/// One edge of an annotated wait-for cycle: the occupied buffer, the packet
+/// blocked in it, and the output direction it wants (None = ejection, which
+/// cannot appear in a real cycle but is kept for robustness). Read top to
+/// bottom: each buffer's packet waits for space in the next buffer's
+/// router; the last waits on the first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitForEdge {
+    /// The occupied buffer this edge starts from.
+    pub buffer: InputRef,
+    /// The packet blocked in it.
+    pub pkt: PacketId,
+    /// Its virtual network.
+    pub vnet: u8,
+    /// The output direction its head wants (`None` = ejection).
+    pub wants: Option<Direction>,
+}
+
+/// Annotate the dependency cycle of [`find_dependency_cycle`] with the
+/// blocked packets and wanted directions, for forensics dumps. Empty when
+/// the network has no dependency cycle.
+pub fn describe_cycle(core: &NetCore) -> Vec<WaitForEdge> {
+    let Some(cycle) = find_dependency_cycle(core) else {
+        return Vec::new();
+    };
+    cycle
+        .into_iter()
+        .filter_map(|input| {
+            let pkt = core.packet_at(input)?;
+            Some(WaitForEdge {
+                buffer: input,
+                pkt: pkt.id,
+                vnet: pkt.vnet,
+                wants: pkt.desired_hop(),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +417,34 @@ mod tests {
             })
             .collect();
         assert_eq!(routers.len(), 4);
+    }
+
+    #[test]
+    fn described_cycle_is_annotated() {
+        let mesh = Mesh::new(2, 2);
+        let topo = Topology::full(mesh);
+        let mut core = NetCore::new(&topo, SimConfig::tiny(), &[]);
+        use Direction::*;
+        let (a, b, c, d) = (
+            mesh.node_at(0, 0),
+            mesh.node_at(0, 1),
+            mesh.node_at(1, 1),
+            mesh.node_at(1, 0),
+        );
+        place(&mut core, vc(b, South), 1, d, vec![East, South]);
+        place(&mut core, vc(c, West), 2, a, vec![South, West]);
+        place(&mut core, vc(d, North), 3, b, vec![West, North]);
+        place(&mut core, vc(a, East), 4, c, vec![North, East]);
+        let edges = describe_cycle(&core);
+        assert_eq!(edges.len(), 4);
+        // Every edge names a real blocked packet wanting a real direction.
+        for e in &edges {
+            assert!(e.wants.is_some(), "cycle members never want ejection");
+            assert_eq!(e.vnet, 0);
+        }
+        let ids: std::collections::HashSet<u64> = edges.iter().map(|e| e.pkt.0).collect();
+        assert_eq!(ids, [1, 2, 3, 4].into_iter().collect());
+        assert!(describe_cycle(&NetCore::new(&topo, SimConfig::tiny(), &[])).is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulation engine: injection, switch allocation, movement, delivery.
 
+use crate::audit::{self, ForensicsReport, Violation};
 use crate::config::SimConfig;
 use crate::deadlock;
 use crate::netcore::{MoveEvent, NetCore, EJECT};
@@ -29,6 +30,13 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     /// Reference mode: scan every alive router instead of the active-set
     /// worklist (see [`Simulator::scan_all_routers`]).
     full_scan: bool,
+    /// Audit cadence in cycles, 0 = off (see [`Simulator::set_audit`]).
+    audit_every: u64,
+    /// Cycles left until the next scheduled audit pass.
+    audit_countdown: u64,
+    /// The most recent forensics report (violation or oracle-detected
+    /// deadlock), retrieved with [`Simulator::take_forensics`].
+    last_forensics: Option<ForensicsReport>,
 }
 
 /// Per-cycle, per-router grant bookkeeping (one grant per input port).
@@ -91,6 +99,105 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner,
             rng: StdRng::seed_from_u64(seed),
             full_scan: false,
+            audit_every: 0,
+            audit_countdown: 0,
+            last_forensics: None,
+        }
+    }
+
+    /// Enable the invariant auditor: every `every` cycles (and at every
+    /// deadlock-oracle call) the engine re-derives conservation, VC
+    /// legality, plugin/FSM legality and the wakeup invariant (see
+    /// [`crate::audit`]). A violation during [`Simulator::tick`] panics
+    /// with a full [`ForensicsReport`] rendered into the message; use
+    /// [`Simulator::audit_now`] for a non-panicking check. `0` disables
+    /// (the default — the audit is a debugging/CI tool, not a hot-path
+    /// cost).
+    pub fn set_audit(&mut self, every: u64) {
+        self.audit_every = every;
+        self.audit_countdown = every;
+    }
+
+    /// Run every audit check immediately and return the forensics report if
+    /// anything is violated (`None` = all invariants hold). Matured wheel
+    /// entries are drained first so the wakeup check never flags a router
+    /// whose timed wake is due this very cycle. The report is also stored
+    /// for [`Simulator::take_forensics`].
+    pub fn audit_now(&mut self) -> Option<ForensicsReport> {
+        self.core.drain_wheel();
+        let violations = self.collect_violations();
+        if violations.is_empty() {
+            return None;
+        }
+        let report = ForensicsReport::capture(
+            &self.core,
+            violations,
+            self.plugin.forensic_lines(&self.core),
+        );
+        self.last_forensics = Some(report.clone());
+        Some(report)
+    }
+
+    /// Take the most recent forensics report (from a violation or an
+    /// oracle-detected deadlock in [`Simulator::run_until_deadlock`]).
+    pub fn take_forensics(&mut self) -> Option<ForensicsReport> {
+        self.last_forensics.take()
+    }
+
+    fn collect_violations(&mut self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        audit::check_conservation(&self.core, &mut v);
+        audit::check_vc_legality(&self.core, &mut v);
+        self.plugin.audit_check(&self.core, &mut v);
+        if !self.full_scan {
+            // The wakeup invariant only exists in worklist mode; the full
+            // sweep scans everything anyway.
+            self.audit_wakeup(&mut v);
+        }
+        v
+    }
+
+    /// The PR-2 wakeup invariant, checked against a fresh scan: a router
+    /// absent from the worklist (quiescent-blocked) must have no candidate
+    /// the allocator would grant right now — otherwise a wake was missed
+    /// and the worklist has silently diverged from the reference sweep.
+    fn audit_wakeup(&self, out: &mut Vec<Violation>) {
+        let mut cands = Vec::new();
+        for router in self.core.topology().alive_nodes() {
+            if self.core.is_active(router) {
+                continue;
+            }
+            self.collect_candidates(router, &mut cands);
+            if cands.is_empty() {
+                continue;
+            }
+            let granted = Granted::default();
+            for out_idx in [EJECT, 0, 1, 2, 3] {
+                let o = if out_idx == EJECT {
+                    OutPort::Eject
+                } else {
+                    OutPort::Dir(Direction::from_index(out_idx))
+                };
+                if self.core.routers[router.index()].out_busy[out_idx] > self.core.time() {
+                    continue;
+                }
+                if let OutPort::Dir(d) = o {
+                    if !self.core.topology().link_alive(router, d) {
+                        continue;
+                    }
+                }
+                if let Some((_, input, _)) = self.find_winner(router, o, &granted, &cands) {
+                    out.push(Violation {
+                        class: audit::AuditClass::Wakeup,
+                        router: Some(router),
+                        detail: format!(
+                            "quiescent-blocked router has a grantable candidate \
+                             {input:?} -> {o:?} (missed wake)"
+                        ),
+                    });
+                    break;
+                }
+            }
         }
     }
 
@@ -150,6 +257,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            audit_every: self.audit_every,
+            audit_countdown: self.audit_countdown,
+            last_forensics: self.last_forensics,
         }
     }
 
@@ -170,6 +280,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            audit_every: self.audit_every,
+            audit_countdown: self.audit_countdown,
+            last_forensics: self.last_forensics,
         }
     }
 
@@ -201,13 +314,19 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                     continue;
                 };
                 let pkt = &occ.pkt;
+                let (len, vnet, dst) = (pkt.len_flits as u64, pkt.vnet, pkt.dst);
                 let remaining = Route::new(pkt.route().directions()[pkt.hop_index()..].to_vec());
+                let lose = |core: &mut NetCore| {
+                    core.vc_mut(vref).take(now);
+                    *core.vc_mut(vref) = crate::vc::VcSlot::Free;
+                    let stats = core.stats_mut();
+                    stats.lost_packets += 1;
+                    stats.lost_flits += len;
+                    stats.lost_packets_vnet[vnet as usize] += 1;
+                };
                 if router_dead {
-                    self.core.vc_mut(vref).take(now);
-                    *self.core.vc_mut(vref) = crate::vc::VcSlot::Free;
-                    self.core.stats_mut().lost_packets += 1;
-                } else if remaining.trace(topo, router) != Some(pkt.dst) {
-                    let dst = pkt.dst;
+                    lose(&mut self.core);
+                } else if remaining.trace(topo, router) != Some(dst) {
                     match self.planner.route(router, dst, &mut self.rng) {
                         Some(route) => {
                             self.core
@@ -217,17 +336,18 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                                 .pkt
                                 .restamp(route, PacketMode::Normal);
                         }
-                        None => {
-                            self.core.vc_mut(vref).take(now);
-                            *self.core.vc_mut(vref) = crate::vc::VcSlot::Free;
-                            self.core.stats_mut().lost_packets += 1;
-                        }
+                        None => lose(&mut self.core),
                     }
                 }
             }
             // Bubble occupants at dead routers are lost with the router.
-            if router_dead && self.core.bubble_take_occupant(router).is_some() {
-                self.core.stats_mut().lost_packets += 1;
+            if router_dead {
+                if let Some(occ) = self.core.bubble_take_occupant(router) {
+                    let stats = self.core.stats_mut();
+                    stats.lost_packets += 1;
+                    stats.lost_flits += occ.pkt.len_flits as u64;
+                    stats.lost_packets_vnet[occ.pkt.vnet as usize] += 1;
+                }
             }
         }
         // 2. Queued packets: re-route from the source.
@@ -238,7 +358,10 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 let mut queue = std::mem::take(&mut self.core.inject[r][vnet]);
                 queue.retain_mut(|pkt| {
                     if router_dead {
-                        self.core.stats_mut().lost_packets += 1;
+                        let stats = self.core.stats_mut();
+                        stats.lost_packets += 1;
+                        stats.lost_flits += pkt.len_flits as u64;
+                        stats.lost_packets_vnet[pkt.vnet as usize] += 1;
                         return false;
                     }
                     match self.planner.route(router, pkt.dst, &mut self.rng) {
@@ -247,7 +370,10 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                             true
                         }
                         None => {
-                            self.core.stats_mut().dropped_packets += 1;
+                            let stats = self.core.stats_mut();
+                            stats.dropped_packets += 1;
+                            stats.dropped_flits += pkt.len_flits as u64;
+                            stats.dropped_packets_vnet[pkt.vnet as usize] += 1;
                             false
                         }
                     }
@@ -258,6 +384,12 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     }
 
     /// Run one cycle.
+    ///
+    /// # Panics
+    ///
+    /// With the auditor enabled ([`Simulator::set_audit`]), panics on an
+    /// invariant violation with the full [`ForensicsReport`] in the
+    /// message.
     pub fn tick(&mut self) {
         self.core.moved.clear();
         self.plugin.before_cycle(&mut self.core);
@@ -266,6 +398,23 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         self.plugin.after_cycle(&mut self.core);
         self.core.stats_mut().cycles += 1;
         self.core.advance_time();
+        if self.audit_every > 0 {
+            self.audit_tick();
+        }
+    }
+
+    /// Out-of-line countdown + audit + panic path, kept `#[cold]` so the
+    /// disabled-auditor `tick` stays a single predicted-not-taken branch.
+    #[cold]
+    #[inline(never)]
+    fn audit_tick(&mut self) {
+        self.audit_countdown = self.audit_countdown.saturating_sub(1);
+        if self.audit_countdown == 0 {
+            self.audit_countdown = self.audit_every;
+            if let Some(report) = self.audit_now() {
+                panic!("invariant audit failed:\n{report}");
+            }
+        }
     }
 
     /// Run `cycles` cycles.
@@ -276,10 +425,15 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     }
 
     /// Run `warmup` cycles and then reset the measurement window, so
-    /// subsequent statistics exclude the cold start.
+    /// subsequent statistics exclude the cold start. Offers for packets
+    /// still in flight carry into the new window (see
+    /// [`NetCore::reset_measurement`]); the traffic source is told through
+    /// [`TrafficSource::on_measurement_reset`] so tracing decorators can
+    /// drop warmup samples.
     pub fn warmup(&mut self, warmup: u64) {
         self.run(warmup);
         self.core.reset_measurement();
+        self.traffic.on_measurement_reset();
     }
 
     /// Run until the network is empty (traffic exhausted, queues and VCs
@@ -296,14 +450,36 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     }
 
     /// Is the network deadlocked *right now* according to the oracle?
+    ///
+    /// # Panics
+    ///
+    /// With the auditor enabled, every oracle call also re-derives the
+    /// read-only invariants (conservation, VC legality) and panics with a
+    /// rendered [`ForensicsReport`] on violation — a wedged network with
+    /// corrupt accounting must not be mistaken for a mere deadlock.
     pub fn deadlocked_now(&self) -> bool {
+        if self.audit_every > 0 {
+            let mut violations = Vec::new();
+            audit::check_conservation(&self.core, &mut violations);
+            audit::check_vc_legality(&self.core, &mut violations);
+            if !violations.is_empty() {
+                let report = ForensicsReport::capture(
+                    &self.core,
+                    violations,
+                    self.plugin.forensic_lines(&self.core),
+                );
+                panic!("invariant audit failed at oracle call:\n{report}");
+            }
+        }
         deadlock::is_deadlocked(&self.core)
     }
 
     /// Run until the oracle observes a deadlock (checking every
     /// `check_every` cycles) or `max_cycles` elapse. Returns the cycle of
     /// detection. Never runs more than `max_cycles` cycles: the final check
-    /// interval is clamped to the remaining budget.
+    /// interval is clamped to the remaining budget. On detection a
+    /// [`ForensicsReport`] is captured and stored for
+    /// [`Simulator::take_forensics`].
     pub fn run_until_deadlock(&mut self, max_cycles: u64, check_every: u64) -> Option<u64> {
         let check_every = check_every.max(1);
         let start = self.time();
@@ -313,6 +489,11 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 self.tick();
             }
             if self.deadlocked_now() {
+                self.last_forensics = Some(ForensicsReport::capture(
+                    &self.core,
+                    Vec::new(),
+                    self.plugin.forensic_lines(&self.core),
+                ));
                 return Some(self.time());
             }
         }
@@ -337,10 +518,12 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             let stats = self.core.stats_mut();
             stats.offered_packets += 1;
             stats.offered_flits += req.len_flits as u64;
+            stats.offered_packets_vnet[req.vnet as usize] += 1;
             if req.src == req.dst {
                 // Local delivery without entering the network.
                 stats.delivered_packets += 1;
                 stats.delivered_flits += req.len_flits as u64;
+                stats.delivered_packets_vnet[req.vnet as usize] += 1;
                 stats.latency_sum += req.len_flits as u64;
                 continue;
             }
@@ -366,7 +549,10 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 }
                 None => {
                     // Unreachable destination: dropped at the NI (Sec. V-A).
-                    self.core.stats_mut().dropped_packets += 1;
+                    let stats = self.core.stats_mut();
+                    stats.dropped_packets += 1;
+                    stats.dropped_flits += req.len_flits as u64;
+                    stats.dropped_packets_vnet[req.vnet as usize] += 1;
                 }
             }
         }
@@ -723,6 +909,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 let stats = self.core.stats_mut();
                 stats.delivered_packets += 1;
                 stats.delivered_flits += len;
+                stats.delivered_packets_vnet[vnet as usize] += 1;
                 let latency = (t + len).saturating_sub(pkt.created_at);
                 stats.latency_sum += latency;
                 stats.latency_max = stats.latency_max.max(latency);

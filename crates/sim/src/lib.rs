@@ -41,6 +41,7 @@
 //! assert!(sim.core().stats().delivered_packets > 0);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod deadlock;
 pub mod engine;
@@ -54,15 +55,18 @@ pub mod trace;
 pub mod traffic;
 pub mod vc;
 
+pub use audit::{AuditClass, ForensicsReport, Violation};
 pub use config::SimConfig;
-pub use deadlock::{find_deadlock, find_dependency_cycle, is_deadlocked};
+pub use deadlock::{
+    describe_cycle, find_deadlock, find_dependency_cycle, is_deadlocked, WaitForEdge,
+};
 pub use engine::Simulator;
 pub use escape::EscapeVcPlugin;
 pub use inspect::Snapshot;
-pub use netcore::{BubbleState, MoveEvent, NetCore};
+pub use netcore::{BubbleState, MoveEvent, NetCore, Resident};
 pub use packet::{NewPacket, Packet, PacketId, PacketMode};
 pub use plugin::{InputRef, NullPlugin, OutPort, Plugin, SlotRef};
-pub use stats::{SpecialClass, Stats};
+pub use stats::{SpecialClass, Stats, MAX_VNETS};
 pub use trace::{TraceEvent, Traced};
 pub use traffic::{
     BitComplementTraffic, NoTraffic, ScriptedTraffic, TrafficSource, UniformTraffic, CTRL_FLITS,

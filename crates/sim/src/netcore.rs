@@ -7,7 +7,7 @@
 use crate::config::SimConfig;
 use crate::packet::{Packet, PacketId};
 use crate::plugin::{InputRef, OutPort};
-use crate::stats::Stats;
+use crate::stats::{Stats, MAX_VNETS};
 use crate::vc::{VcRef, VcSlot};
 use sb_topology::{Direction, NodeId, NodeSet, Topology, DIRECTIONS};
 use std::collections::VecDeque;
@@ -46,6 +46,25 @@ pub struct MoveEvent {
     pub pkt: PacketId,
     /// Its vnet.
     pub vnet: u8,
+}
+
+/// Census of packets resident in the network, produced by
+/// [`NetCore::resident`]. Split into in-network (VCs + bubbles) and
+/// source-queue populations, with flit totals and per-vnet breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resident {
+    /// Packets in VCs and bubbles.
+    pub packets: u64,
+    /// Flits of those packets.
+    pub flits: u64,
+    /// Packets waiting in source queues.
+    pub queued_packets: u64,
+    /// Flits of those packets.
+    pub queued_flits: u64,
+    /// Per-vnet breakdown of `packets`.
+    pub packets_vnet: [u64; MAX_VNETS],
+    /// Per-vnet breakdown of `queued_packets`.
+    pub queued_packets_vnet: [u64; MAX_VNETS],
 }
 
 #[derive(Debug, Clone)]
@@ -105,6 +124,10 @@ impl NetCore {
     /// Build the network over `topo`, creating a static-bubble buffer at
     /// each router in `bubble_routers` (empty for the baselines).
     pub fn new(topo: &Topology, cfg: SimConfig, bubble_routers: &[NodeId]) -> Self {
+        assert!(
+            (cfg.vnets as usize) <= MAX_VNETS,
+            "at most {MAX_VNETS} vnets supported (per-vnet conservation counters)"
+        );
         let n = topo.mesh().node_count();
         let vcs = cfg.vcs_per_port();
         let routers = (0..n)
@@ -178,9 +201,50 @@ impl NetCore {
     }
 
     /// Reset the measurement window (stats and per-node counters).
+    ///
+    /// Packets already resident in the network or its source queues were
+    /// *offered* before the window opened but will deliver (or drop, or be
+    /// lost) inside it. Their offers are carried into the fresh window so
+    /// `offered = in-network + delivered + dropped + lost` holds at every
+    /// instant and [`Stats::acceptance`] can never exceed 1.0 on a drained
+    /// run. In-network packets also seed `injected_packets`, since they
+    /// already left their source queue.
     pub fn reset_measurement(&mut self) {
+        let res = self.resident();
         self.stats.reset_measurement();
+        self.stats.offered_packets = res.packets + res.queued_packets;
+        self.stats.offered_flits = res.flits + res.queued_flits;
+        self.stats.injected_packets = res.packets;
+        for v in 0..MAX_VNETS {
+            self.stats.offered_packets_vnet[v] = res.packets_vnet[v] + res.queued_packets_vnet[v];
+        }
         self.delivered_per_node.fill(0);
+    }
+
+    /// One-pass census of packets resident in the network (VCs and bubbles)
+    /// and waiting in source queues, with flit totals and per-vnet packet
+    /// breakdowns. Used by the measurement-window carry and the conservation
+    /// audit.
+    pub fn resident(&self) -> Resident {
+        let mut res = Resident::default();
+        for r in &self.routers {
+            for occ in r.vcs.iter().flatten().filter_map(VcSlot::occupant) {
+                res.packets += 1;
+                res.flits += occ.pkt.len_flits as u64;
+                res.packets_vnet[occ.pkt.vnet as usize] += 1;
+            }
+            if let Some(occ) = r.bubble.as_ref().and_then(|b| b.slot.occupant()) {
+                res.packets += 1;
+                res.flits += occ.pkt.len_flits as u64;
+                res.packets_vnet[occ.pkt.vnet as usize] += 1;
+            }
+        }
+        for pkt in self.inject.iter().flatten().flatten() {
+            res.queued_packets += 1;
+            res.queued_flits += pkt.len_flits as u64;
+            res.queued_packets_vnet[pkt.vnet as usize] += 1;
+        }
+        res
     }
 
     /// Jain's fairness index over per-node deliveries of **alive, receiving**
@@ -259,6 +323,13 @@ impl NetCore {
 
     /// Empty the scan set (the allocator consumes its snapshot each cycle).
     pub(crate) fn clear_active(&mut self) {
+        self.active.clear();
+    }
+
+    /// Empty the scan set from outside the crate. **Test hook only**: this
+    /// deliberately violates the wakeup invariant so audit tests can seed a
+    /// "quiescent-blocked router with a grantable candidate" violation.
+    pub fn clear_active_for_test(&mut self) {
         self.active.clear();
     }
 

@@ -131,6 +131,22 @@ pub trait Plugin {
     fn on_bubble_freed(&mut self, core: &mut NetCore, router: NodeId) {
         let _ = (core, router);
     }
+
+    /// Invariant audit hook: push one [`crate::audit::Violation`] per
+    /// protocol-level invariant the plugin's own state breaks (illegal FSM
+    /// transitions, orphaned restrictions, bubble/FSM disagreement). Called
+    /// by the engine's [`crate::audit`] pass; `&mut self` lets the plugin
+    /// drain internally-accumulated evidence.
+    fn audit_check(&mut self, core: &NetCore, out: &mut Vec<crate::audit::Violation>) {
+        let _ = (core, out);
+    }
+
+    /// Human-readable protocol state for a [`crate::audit::ForensicsReport`]
+    /// — FSM states, pending restrictions, recent special messages.
+    fn forensic_lines(&self, core: &NetCore) -> Vec<String> {
+        let _ = core;
+        Vec::new()
+    }
 }
 
 /// The no-mechanism plugin: plain VC allocation, no vetoes, no bubbles.

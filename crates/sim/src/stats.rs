@@ -36,10 +36,16 @@ impl SpecialClass {
     ];
 }
 
+/// Maximum number of virtual networks the per-vnet conservation counters
+/// cover. [`crate::NetCore`] rejects configurations beyond this.
+pub const MAX_VNETS: usize = 8;
+
 /// Aggregate simulation statistics.
 ///
 /// All counters are cumulative since construction or the last
-/// [`Stats::reset_measurement`] (which is how warmup is excluded).
+/// [`Stats::reset_measurement`] (which is how warmup is excluded — the
+/// engine carries offers for packets still in flight across the reset so
+/// conservation and `acceptance()` stay meaningful; see `DESIGN.md`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Stats {
     /// Cycles elapsed in the measurement window.
@@ -56,9 +62,21 @@ pub struct Stats {
     pub delivered_flits: u64,
     /// Packets dropped at injection because the destination is unreachable.
     pub dropped_packets: u64,
+    /// Flits of dropped packets.
+    pub dropped_flits: u64,
     /// In-flight packets lost to a runtime reconfiguration (their router
     /// died or no route survived).
     pub lost_packets: u64,
+    /// Flits of lost packets.
+    pub lost_flits: u64,
+    /// Per-vnet breakdown of [`Stats::offered_packets`].
+    pub offered_packets_vnet: [u64; MAX_VNETS],
+    /// Per-vnet breakdown of [`Stats::delivered_packets`].
+    pub delivered_packets_vnet: [u64; MAX_VNETS],
+    /// Per-vnet breakdown of [`Stats::dropped_packets`].
+    pub dropped_packets_vnet: [u64; MAX_VNETS],
+    /// Per-vnet breakdown of [`Stats::lost_packets`].
+    pub lost_packets_vnet: [u64; MAX_VNETS],
     /// Sum over delivered packets of (delivery − creation) cycles.
     pub latency_sum: u64,
     /// Max packet latency observed.

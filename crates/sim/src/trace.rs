@@ -65,6 +65,14 @@ impl<T> Traced<T> {
         (self.inner, self.events)
     }
 
+    /// Discard all recorded events (start a clean observation window). The
+    /// engine calls this through
+    /// [`TrafficSource::on_measurement_reset`] at the end of warmup so
+    /// reported distributions contain measurement-window packets only.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
     /// Delivery latencies, in delivery order.
     pub fn latencies(&self) -> Vec<u64> {
         self.events
@@ -76,8 +84,13 @@ impl<T> Traced<T> {
             .collect()
     }
 
-    /// Latency percentile (`p` in 0..=100) over delivered packets.
+    /// Latency percentile over delivered packets. Returns `None` when
+    /// nothing was delivered or `p` is outside `0.0..=100.0` (including
+    /// NaN) — an out-of-range percentile is a caller bug, not "the max".
     pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         let mut lats = self.latencies();
         if lats.is_empty() {
             return None;
@@ -190,6 +203,11 @@ impl<T: TrafficSource> TrafficSource for Traced<T> {
     fn exhausted(&self) -> bool {
         self.inner.exhausted()
     }
+
+    fn on_measurement_reset(&mut self) {
+        self.clear_events();
+        self.inner.on_measurement_reset();
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +274,49 @@ mod tests {
             Traced::new(crate::traffic::NoTraffic).latency_percentile(50.0),
             None
         );
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        let traced = traced_run();
+        assert!(traced.latency_percentile(0.0).is_some());
+        assert!(traced.latency_percentile(100.0).is_some());
+        assert_eq!(traced.latency_percentile(-0.001), None);
+        assert_eq!(traced.latency_percentile(100.001), None);
+        assert_eq!(traced.latency_percentile(200.0), None);
+        assert_eq!(traced.latency_percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn warmup_clears_traced_events() {
+        use crate::traffic::UniformTraffic;
+        let topo = Topology::full(Mesh::new(4, 4));
+        let mut sim = Simulator::new(
+            &topo,
+            SimConfig::single_vnet(),
+            Box::new(XyRouting::new(&topo)),
+            NullPlugin,
+            Traced::new(UniformTraffic::new(0.1).single_vnet()),
+            7,
+        );
+        sim.run(200);
+        assert!(
+            !sim.traffic().events().is_empty(),
+            "warmup generated events"
+        );
+        sim.warmup(0); // reset only: the 200 cycles above were the warmup
+        assert!(
+            sim.traffic().events().is_empty(),
+            "measurement reset discards warmup events"
+        );
+        sim.run(200);
+        let events = sim.traffic().events();
+        assert!(!events.is_empty());
+        // Every surviving offer is post-reset.
+        assert!(events.iter().all(|e| match *e {
+            TraceEvent::Offered { time, .. } => time >= 200,
+            TraceEvent::Delivered { time, .. } => time >= 200,
+        }));
     }
 
     #[test]

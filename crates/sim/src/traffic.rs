@@ -29,6 +29,12 @@ pub trait TrafficSource {
     fn exhausted(&self) -> bool {
         false
     }
+
+    /// Called when the engine resets the measurement window (end of
+    /// warmup). Sources that record per-delivery observations (e.g.
+    /// [`crate::Traced`]) discard warmup samples here; open-loop sources
+    /// need not do anything.
+    fn on_measurement_reset(&mut self) {}
 }
 
 /// Flit length used for data packets by the synthetic sources.

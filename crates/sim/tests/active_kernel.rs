@@ -163,6 +163,10 @@ fn design_run(
             single_vnet: true,
         })
         .with_seed(seed)
+        // Paranoid mode: every cycle of the A/B sweep is audited for
+        // conservation, VC legality, FSM legality and missed wakeups; any
+        // violation panics the case with a forensics report.
+        .with_audit_every(1)
         .build();
     sim.scan_all_routers(full_scan);
     sim.warmup(200);
@@ -215,6 +219,7 @@ fn wakeup_kernel_matches_reference_through_deadlock_and_recovery() {
                 single_vnet: true,
             })
             .with_seed(42)
+            .with_audit_every(1)
             .build();
         sim.scan_all_routers(full_scan);
         sim.run(2_500);
