@@ -121,18 +121,17 @@ fn bench_bfc(c: &mut Criterion) {
 /// four occupancy regimes the worklist is built for, and persist the
 /// numbers as `BENCH_kernel.json` at the repo root.
 fn bench_kernel(c: &mut Criterion) {
-    use sb_scenario::{Design, Scenario, TrafficSpec};
+    use sb_scenario::{ClockMode, Design, Scenario, TrafficSpec};
 
-    let cases: [(&str, TrafficSpec, u64); 3] = [
-        ("idle", TrafficSpec::Idle, 2_000_000),
-        (
-            "low_load",
-            TrafficSpec::Uniform {
-                rate: 0.02,
-                single_vnet: true,
-            },
-            200_000,
-        ),
+    const LOW_LOAD: TrafficSpec = TrafficSpec::Uniform {
+        rate: 0.02,
+        single_vnet: true,
+    };
+    let cases: [(&str, TrafficSpec, u64, ClockMode); 5] = [
+        ("idle", TrafficSpec::Idle, 2_000_000, ClockMode::Step),
+        ("idle_leap", TrafficSpec::Idle, 2_000_000, ClockMode::Leap),
+        ("low_load", LOW_LOAD, 200_000, ClockMode::Step),
+        ("low_load_leap", LOW_LOAD, 200_000, ClockMode::Leap),
         (
             "saturated",
             TrafficSpec::Uniform {
@@ -140,13 +139,15 @@ fn bench_kernel(c: &mut Criterion) {
                 single_vnet: true,
             },
             20_000,
+            ClockMode::Step,
         ),
     ];
-    let scenario = |name: &str, traffic: TrafficSpec| {
+    let scenario = |name: &str, traffic: TrafficSpec, clock: ClockMode| {
         Scenario::new(name, Design::Unprotected)
             .with_mesh(16, 16)
             .with_traffic(traffic)
             .with_seed(5)
+            .with_clock(clock)
     };
 
     // The blocked regime: drive the unprotected mesh into a deadlock, cut
@@ -175,8 +176,8 @@ fn bench_kernel(c: &mut Criterion) {
     // Runs before the criterion loops so heap churn from earlier
     // iterations (saturated runs queue >10^6 packets) cannot skew it.
     let mut rows: Vec<(&str, u64, f64)> = Vec::new();
-    for (name, traffic, cycles) in cases {
-        let mut sim = scenario(name, traffic).build();
+    for (name, traffic, cycles, clock) in cases {
+        let mut sim = scenario(name, traffic, clock).build();
         sim.warmup(1_000);
         let start = std::time::Instant::now();
         sim.run(cycles);
@@ -206,11 +207,11 @@ fn bench_kernel(c: &mut Criterion) {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
     std::fs::write(&path, json).expect("write BENCH_kernel.json");
 
-    for (name, traffic, _) in cases {
+    for (name, traffic, _, clock) in cases {
         c.bench_function(&format!("kernel/{name}_16x16_1k_cycles"), |b| {
             b.iter_batched(
                 || {
-                    let mut sim = scenario(name, traffic).build();
+                    let mut sim = scenario(name, traffic, clock).build();
                     sim.warmup(1_000);
                     sim
                 },

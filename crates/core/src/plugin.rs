@@ -22,7 +22,7 @@
 use crate::fsm::{FsmState, SbFsm, VcPointer};
 use crate::msg::{InFlightMsg, MsgKind, SpecialMsg};
 use crate::placement;
-use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, Violation};
+use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, VcSlot, Violation};
 use sb_topology::{Direction, Mesh, NodeId, Turn, DIRECTIONS};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -102,6 +102,11 @@ pub struct StaticBubblePlugin {
     /// Ring of the last [`RECENT_MSG_CAP`] special-message transmissions,
     /// reported by [`Plugin::forensic_lines`].
     recent: VecDeque<MsgRecord>,
+    /// Cycle of the last `before_cycle` call. FSM counters advance by the
+    /// elapsed time since then, so cycles skipped by the leap clock — during
+    /// which the counted condition provably held — are accounted exactly as
+    /// if they had been stepped through.
+    last_tick: Option<u64>,
 }
 
 impl StaticBubblePlugin {
@@ -141,6 +146,7 @@ impl StaticBubblePlugin {
             restriction_ttl: 64 * tdd.max(1),
             opts,
             recent: VecDeque::with_capacity(RECENT_MSG_CAP),
+            last_tick: None,
         }
     }
 
@@ -603,7 +609,13 @@ impl StaticBubblePlugin {
         None
     }
 
-    fn tick_fsm(&mut self, core: &mut NetCore, router: NodeId) {
+    /// Advance the counter FSM at `router` by one executed tick. `dt` is the
+    /// number of cycles since the previous executed tick (always 1 under the
+    /// step clock); counters advance by `dt` because every skipped cycle
+    /// provably satisfied the same increment condition (nothing moves during
+    /// a leaped gap), and [`Plugin::next_timer`] guarantees the gap never
+    /// overshoots a threshold crossing.
+    fn tick_fsm(&mut self, core: &mut NetCore, router: NodeId, dt: u64) {
         let fsm = self.fsms.get_mut(&router).expect("ticking SB node");
         match fsm.state {
             FsmState::SOff => {
@@ -626,7 +638,7 @@ impl StaticBubblePlugin {
                     .and_then(|o| o.pkt.desired_hop());
                 match still_waiting {
                     Some(dir) => {
-                        fsm.count += 1;
+                        fsm.count += dt;
                         if fsm.count >= fsm.effective_tdd() {
                             // Timeout: suspected deadlock. Send a probe out
                             // of the output port the stuck packet wants.
@@ -672,7 +684,7 @@ impl StaticBubblePlugin {
                 }
             }
             FsmState::SDisable | FsmState::SCheckProbe => {
-                fsm.count += 1;
+                fsm.count += dt;
                 if fsm.count > fsm.tdr {
                     // The disable/check-probe was dropped mid-way: release
                     // the restrictions placed so far.
@@ -689,7 +701,7 @@ impl StaticBubblePlugin {
                 }
             }
             FsmState::SEnable => {
-                fsm.count += 1;
+                fsm.count += dt;
                 if fsm.count > fsm.tdr {
                     fsm.restart_counter();
                     fsm.enable_retries += 1;
@@ -736,7 +748,7 @@ impl StaticBubblePlugin {
                     .bubble(router)
                     .is_some_and(|b| b.slot.occupant().is_none());
                 if bubble_empty {
-                    fsm.count += 1;
+                    fsm.count += dt;
                     if fsm.count > fsm.tdr {
                         fsm.goto(FsmState::SCheckProbe);
                         fsm.restart_counter();
@@ -760,7 +772,7 @@ impl StaticBubblePlugin {
                     // release the restrictions; the occupant drains as an
                     // ordinary buffered packet and the bubble stays
                     // deactivated until then.
-                    fsm.count += 1;
+                    fsm.count += dt;
                     let occupied_watchdog = (8 * fsm.tdr).max(4 * fsm.tdd);
                     if fsm.count > occupied_watchdog {
                         core.bubble_deactivate(router);
@@ -788,6 +800,13 @@ impl Plugin for StaticBubblePlugin {
 
     fn before_cycle(&mut self, core: &mut NetCore) {
         let now = core.time();
+        // Cycles since the previous executed tick (1 under the step clock;
+        // the leaped-over gap under the leap clock). See tick_fsm.
+        let dt = match self.last_tick {
+            Some(prev) => now - prev,
+            None => 1,
+        };
+        self.last_tick = Some(now);
         // TTL sweep: lost enables cannot poison a router forever. Lifting a
         // restriction can re-enable grants, so the router must wake
         // (wakeup invariant, see `sb_sim::Plugin`).
@@ -871,8 +890,108 @@ impl Plugin for StaticBubblePlugin {
         // 2. Tick every FSM.
         let nodes: Vec<NodeId> = self.fsms.keys().copied().collect();
         for n in nodes {
-            self.tick_fsm(core, n);
+            self.tick_fsm(core, n, dt);
         }
+    }
+
+    fn next_timer(&self, core: &NetCore) -> Option<u64> {
+        let now = core.time();
+        let mut best: Option<u64> = None;
+        let mut note = |at: u64| {
+            let at = at.max(now);
+            if best.is_none_or(|b| at < b) {
+                best = Some(at);
+            }
+        };
+        // Special messages deliver at their arrival cycle.
+        for m in &self.in_flight {
+            note(m.arrive_at);
+        }
+        // Restriction TTLs expire on their own clock.
+        for p in &self.prot {
+            if p.is_deadlock {
+                note(p.expires_at);
+            }
+        }
+        // Counter FSMs: each fires (probe / timeout / watchdog) at the tick
+        // where its counter crosses the state's threshold. `fsm.count`
+        // reflects the last executed tick at `now - 1`, so the crossing tick
+        // is `now + (threshold_excess - 1)`. Bounds may be conservative
+        // (early) — a woken tick that fires nothing just re-arms the timer —
+        // but are never late.
+        for (&router, fsm) in &self.fsms {
+            match fsm.state {
+                FsmState::SOff => {
+                    // Leaves SOff as soon as any VC is occupied — something
+                    // only executed ticks can change, except that occupancy
+                    // may already hold now. Be conservative: if anything is
+                    // occupied, refuse to leap so the transition happens on
+                    // the very next tick, as it would under the step clock.
+                    let occupied = DIRECTIONS.iter().any(|&port| {
+                        core.vcs_at(router, port)
+                            .iter()
+                            .any(|s| s.occupant().is_some())
+                    });
+                    if occupied {
+                        note(now);
+                    }
+                }
+                FsmState::SDd => {
+                    let watched = fsm.watching.expect("SDd has a pointer");
+                    let still_waiting = core
+                        .vc(VcRef {
+                            router,
+                            port: watched.port,
+                            vc: watched.vc,
+                        })
+                        .occupant()
+                        .filter(|o| o.pkt.id == watched.pkt)
+                        .and_then(|o| o.pkt.desired_hop());
+                    match still_waiting {
+                        // Counting towards the probe timeout.
+                        Some(_) => note(
+                            now + fsm
+                                .effective_tdd()
+                                .saturating_sub(fsm.count)
+                                .saturating_sub(1),
+                        ),
+                        // The watched flit left: the pointer rotates on the
+                        // very next tick (a per-tick action dt cannot
+                        // replay), so do not leap.
+                        None => note(now),
+                    }
+                }
+                FsmState::SDisable | FsmState::SCheckProbe | FsmState::SEnable => {
+                    note(now + (fsm.tdr + 1).saturating_sub(fsm.count).saturating_sub(1));
+                }
+                FsmState::SSbActive => {
+                    let bubble = core.bubble(router);
+                    let bubble_empty = bubble.is_some_and(|b| b.slot.occupant().is_none());
+                    let th = if bubble_empty {
+                        fsm.tdr
+                    } else {
+                        (8 * fsm.tdr).max(4 * fsm.tdd)
+                    };
+                    note(now + (th + 1).saturating_sub(fsm.count).saturating_sub(1));
+                    // Footnote-6 relocation (after_cycle) triggers as soon
+                    // as a regular VC at the attach port frees — which can
+                    // happen purely by time when a slot is draining.
+                    if let Some(b) = bubble {
+                        if b.slot.occupant().is_some() {
+                            if let Some((port, vnet)) = b.attach {
+                                let slots = core.vcs_at(router, port);
+                                for i in core.config().vcs_of_vnet(vnet) {
+                                    if let VcSlot::Draining { until } = &slots[i as usize] {
+                                        note(*until);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best
     }
 
     fn allow_grant(

@@ -40,6 +40,7 @@ pub mod value;
 
 pub use design::{Design, RunOutcome, T_DD};
 pub use runner::SimRunner;
+pub use sb_sim::ClockMode;
 pub use spec::{BubbleSpec, FaultSpec, Scenario, TrafficSpec};
 pub use value::{from_value, to_value, SpecError, Value};
 

@@ -10,7 +10,9 @@
 
 use std::any::Any;
 
-use sb_sim::{EscapeVcPlugin, ForensicsReport, NetCore, Plugin, Simulator, Stats, TrafficSource};
+use sb_sim::{
+    ClockMode, EscapeVcPlugin, ForensicsReport, NetCore, Plugin, Simulator, Stats, TrafficSource,
+};
 
 /// A live simulation, abstracted over plugin and traffic types.
 pub trait SimRunner {
@@ -37,6 +39,9 @@ pub trait SimRunner {
     fn scan_all_routers(&mut self, enable: bool);
     /// Audit every `every` cycles (0 = off). See [`sb_sim::audit`].
     fn set_audit(&mut self, every: u64);
+    /// Select the clock discipline (step vs event-driven leaping). See
+    /// [`sb_sim::ClockMode`].
+    fn set_clock(&mut self, mode: ClockMode);
     /// Audit immediately; `Some` report if any invariant is violated.
     fn audit_now(&mut self) -> Option<ForensicsReport>;
     /// Take the most recent forensics report (audit failure or detected
@@ -99,6 +104,10 @@ impl<P: Plugin + 'static, T: TrafficSource + 'static> SimRunner for Runner<P, T>
 
     fn set_audit(&mut self, every: u64) {
         self.0.set_audit(every);
+    }
+
+    fn set_clock(&mut self, mode: ClockMode) {
+        self.0.set_clock(mode);
     }
 
     fn audit_now(&mut self) -> Option<ForensicsReport> {

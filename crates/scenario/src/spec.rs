@@ -9,7 +9,7 @@
 
 use rand::SeedableRng;
 use sb_sim::{
-    BitComplementTraffic, EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator,
+    BitComplementTraffic, ClockMode, EscapeVcPlugin, NoTraffic, NullPlugin, SimConfig, Simulator,
     TrafficSource, UniformTraffic,
 };
 use sb_topology::{FaultKind, FaultModel, Mesh, NodeId, Topology};
@@ -122,6 +122,13 @@ pub struct Scenario {
     /// Run the invariant auditor every this-many cycles (0 = off, the
     /// production default). See [`sb_sim::audit`].
     pub audit_every: u64,
+    /// Clock discipline: [`ClockMode::Step`] executes every cycle (the
+    /// default); [`ClockMode::Leap`] jumps over provably-dead cycles and
+    /// switches synthetic traffic to the equivalent geometric inter-arrival
+    /// sampler (same mean load, different RNG stream — so a leap scenario is
+    /// *not* packet-identical to its step twin; it is statistically
+    /// equivalent and vastly faster at low load).
+    pub clock: ClockMode,
 }
 
 impl Scenario {
@@ -148,6 +155,7 @@ impl Scenario {
             cycles: 10_000,
             seed: 1,
             audit_every: 0,
+            clock: ClockMode::Step,
         }
     }
 
@@ -242,6 +250,12 @@ impl Scenario {
         self
     }
 
+    /// Set the clock discipline (see [`Scenario::clock`]).
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// The mesh substrate.
     pub fn mesh(&self) -> Mesh {
         Mesh::new(self.width, self.height)
@@ -300,16 +314,22 @@ impl Scenario {
     /// Build the simulation on an externally supplied topology (sweeps
     /// sample many topologies per fault point and reuse one spec).
     pub fn build_on(&self, topo: &Topology) -> Box<dyn SimRunner> {
+        // The leap clock needs injectors that can name their next arrival
+        // cycle, so leap scenarios sample geometric inter-arrival gaps
+        // instead of per-cycle Bernoulli coins (same mean load).
+        let geometric = self.clock == ClockMode::Leap;
         match self.traffic {
             TrafficSpec::Idle => self.build_with(topo, NoTraffic),
             TrafficSpec::Uniform { rate, single_vnet } => {
                 let t = UniformTraffic::new(rate);
                 let t = if single_vnet { t.single_vnet() } else { t };
+                let t = if geometric { t.geometric() } else { t };
                 self.build_with(topo, t)
             }
             TrafficSpec::BitComplement { rate, single_vnet } => {
                 let t = BitComplementTraffic::new(rate);
                 let t = if single_vnet { t.single_vnet() } else { t };
+                let t = if geometric { t.geometric() } else { t };
                 self.build_with(topo, t)
             }
         }
@@ -350,6 +370,7 @@ impl Scenario {
             }
         };
         runner.set_audit(self.audit_every);
+        runner.set_clock(self.clock);
         runner
     }
 

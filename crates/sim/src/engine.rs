@@ -12,10 +12,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sb_routing::{Route, RouteSource};
 use sb_topology::{Direction, NodeId, Topology};
+use serde::{Deserialize, Serialize};
 
 /// Router + link pipeline depth: a granted head is switchable at the next
 /// router after 2 cycles (1-cycle router, 1-cycle link — Table II).
 pub const HOP_LATENCY: u64 = 2;
+
+/// How the engine advances simulated time (see [`Simulator::set_clock`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockMode {
+    /// Execute every cycle, one tick at a time — the reference semantics.
+    #[default]
+    Step,
+    /// Discrete-event advance: after a tick that leaves the runnable set
+    /// empty, jump straight to the next scheduled event — the earliest of
+    /// time-wheel maturity, traffic arrival
+    /// ([`TrafficSource::next_arrival`]), plugin timer
+    /// ([`Plugin::next_timer`]), audit boundary, and the enclosing run
+    /// loop's own deadline. The skipped cycles are provably no-ops, so
+    /// [`crate::Stats`] stays bit-identical to [`ClockMode::Step`] under
+    /// the same arrival sampler; with the Bernoulli sampler (which draws
+    /// RNG every cycle) leaping simply never triggers while traffic can
+    /// still arrive.
+    Leap,
+}
 
 /// A complete simulation: network state, deadlock-handling plugin, traffic
 /// source and route planner.
@@ -30,6 +50,8 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     /// Reference mode: scan every alive router instead of the active-set
     /// worklist (see [`Simulator::scan_all_routers`]).
     full_scan: bool,
+    /// Clock advance policy (see [`Simulator::set_clock`]).
+    clock: ClockMode,
     /// Audit cadence in cycles, 0 = off (see [`Simulator::set_audit`]).
     audit_every: u64,
     /// Cycles left until the next scheduled audit pass.
@@ -99,6 +121,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner,
             rng: StdRng::seed_from_u64(seed),
             full_scan: false,
+            clock: ClockMode::Step,
             audit_every: 0,
             audit_countdown: 0,
             last_forensics: None,
@@ -217,6 +240,26 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         self.full_scan = enable;
     }
 
+    /// Select the clock advance policy. [`ClockMode::Leap`] turns the run
+    /// loops into a discrete-event scheduler: whenever a tick leaves the
+    /// runnable set empty, the clock jumps in O(1) to the next event
+    /// instead of stepping through the dead gap. Leaping is sound because
+    /// during skipped cycles state can only change through the passage of
+    /// time, and every time-driven change — wheel maturity, precomputed
+    /// traffic arrival, plugin timeout, audit boundary, loop deadline — is
+    /// enumerated in the jump target; [`crate::Stats`] is bit-identical to
+    /// [`ClockMode::Step`] under the same arrival sampler. Ignored in the
+    /// reference full-sweep mode ([`Simulator::scan_all_routers`]), whose
+    /// worklist is never empty.
+    pub fn set_clock(&mut self, clock: ClockMode) {
+        self.clock = clock;
+    }
+
+    /// The current clock advance policy.
+    pub fn clock(&self) -> ClockMode {
+        self.clock
+    }
+
     /// The network state.
     pub fn core(&self) -> &NetCore {
         &self.core
@@ -257,6 +300,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            clock: self.clock,
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
             last_forensics: self.last_forensics,
@@ -280,6 +324,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            clock: self.clock,
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
             last_forensics: self.last_forensics,
@@ -417,10 +462,49 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         }
     }
 
+    /// With the leap clock, jump from an empty runnable set to the next
+    /// event, but never past `end` (the enclosing loop's deadline). Called
+    /// after every tick; a no-op in step mode, full-scan mode, or whenever
+    /// anything is runnable.
+    fn maybe_leap(&mut self, end: u64) {
+        if self.clock != ClockMode::Leap || self.full_scan {
+            return;
+        }
+        let now = self.core.time();
+        if now >= end || self.core.active_count() != 0 {
+            return;
+        }
+        let mut target = end;
+        if self.audit_every > 0 {
+            // After a tick the countdown is in 1..=audit_every; the next
+            // audit runs at the end of the tick executing cycle
+            // `now + countdown - 1`, which therefore must execute.
+            target = target.min(now + self.audit_countdown - 1);
+        }
+        if let Some(at) = self.core.next_wheel_event() {
+            target = target.min(at);
+        }
+        if let Some(at) = self.traffic.next_arrival(now) {
+            target = target.min(at);
+        }
+        if let Some(at) = self.plugin.next_timer(&self.core) {
+            target = target.min(at);
+        }
+        if target > now {
+            let gap = target - now;
+            self.core.leap(gap);
+            if self.audit_every > 0 {
+                self.audit_countdown -= gap;
+            }
+        }
+    }
+
     /// Run `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = self.core.time() + cycles;
+        while self.core.time() < end {
             self.tick();
+            self.maybe_leap(end);
         }
     }
 
@@ -440,12 +524,24 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// drained) or `max_cycles` more cycles elapse. Returns `true` if
     /// drained.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if self.traffic.exhausted() && self.core.in_flight() == 0 && self.core.queued() == 0 {
+        let end = self.core.time() + max_cycles;
+        while self.core.time() < end {
+            if self.drained() {
                 return true;
             }
             self.tick();
+            // Leaping right after the tick that completed the drain would
+            // inflate the cycle count past the step-mode exit point; a
+            // still-undrained network is free to jump (a wedged one goes
+            // straight to the deadline).
+            if self.clock == ClockMode::Leap && !self.drained() {
+                self.maybe_leap(end);
+            }
         }
+        self.drained()
+    }
+
+    fn drained(&self) -> bool {
         self.traffic.exhausted() && self.core.in_flight() == 0 && self.core.queued() == 0
     }
 
@@ -485,8 +581,13 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         let start = self.time();
         while self.time() - start < max_cycles {
             let remaining = max_cycles - (self.time() - start);
-            for _ in 0..check_every.min(remaining) {
+            // The oracle cadence is itself a clock event: leaps stop at the
+            // batch boundary so every oracle call lands on the same cycle
+            // it would under the step clock.
+            let batch_end = self.time() + check_every.min(remaining);
+            while self.time() < batch_end {
                 self.tick();
+                self.maybe_leap(batch_end);
             }
             if self.deadlocked_now() {
                 self.last_forensics = Some(ForensicsReport::capture(

@@ -29,6 +29,11 @@ pub struct EscapeVcPlugin {
     tdd: u64,
     stalls: HashMap<VcRef, (PacketId, u64)>,
     escapes: u64,
+    /// Cycle of the last `after_cycle` call. Stall counters advance by the
+    /// elapsed time since then, so skipped (leaped-over) cycles — during
+    /// which a stall condition cannot change — are accounted exactly as if
+    /// they had been stepped through.
+    last_tick: Option<u64>,
     rng: rand::rngs::StdRng,
 }
 
@@ -42,6 +47,7 @@ impl EscapeVcPlugin {
             tdd: tdd.max(1),
             stalls: HashMap::new(),
             escapes: 0,
+            last_tick: None,
             rng: rand::rngs::StdRng::seed_from_u64(0xE5CA),
         }
     }
@@ -100,6 +106,16 @@ impl Plugin for EscapeVcPlugin {
             })
             .collect();
         let now = core.time();
+        // Cycles elapsed since the previous executed tick. Under the step
+        // clock this is always 1; under the leap clock it covers the
+        // skipped gap, during which every stall condition provably held
+        // (occupancy, maturity and desired hop only change at executed
+        // ticks), so advancing by `dt` reproduces the stepped counters.
+        let dt = match self.last_tick {
+            Some(prev) => now - prev,
+            None => 1,
+        };
+        self.last_tick = Some(now);
         for r in refs {
             let Some(occ) = core.vc(r).occupant() else {
                 self.stalls.remove(&r);
@@ -111,11 +127,22 @@ impl Plugin for EscapeVcPlugin {
                 continue;
             }
             let id = occ.pkt.id;
-            let entry = self.stalls.entry(r).or_insert((id, 0));
-            if entry.0 != id {
-                *entry = (id, 0);
-            }
-            entry.1 += 1;
+            // A fresh (or re-owned) entry starts its stall clock at this
+            // very tick — entry creation always happens on the first cycle
+            // the condition holds, which is never inside a leaped gap. An
+            // existing entry accounts every cycle since the last tick.
+            let entry = match self.stalls.entry(r) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let v = e.into_mut();
+                    if v.0 == id {
+                        v.1 += dt;
+                    } else {
+                        *v = (id, 1);
+                    }
+                    v
+                }
+                std::collections::hash_map::Entry::Vacant(e) => e.insert((id, 1)),
+            };
             if entry.1 >= self.tdd {
                 entry.1 = 0;
                 let dst = occ.pkt.dst;
@@ -133,6 +160,26 @@ impl Plugin for EscapeVcPlugin {
                 }
             }
         }
+    }
+
+    fn next_timer(&self, core: &NetCore) -> Option<u64> {
+        // Each tracked stall fires (escape or counter reset) at the tick
+        // where its counter reaches `tdd`; counters advance one per cycle,
+        // so an entry at `count` after the last executed tick fires at
+        // `(now - 1) + (tdd - count)`. Entries whose condition lapsed are
+        // pruned at the next tick anyway; their stale bound only wakes the
+        // engine early, never late.
+        let now = core.time();
+        let mut best: Option<u64> = None;
+        for &(_, count) in self.stalls.values() {
+            let at = (now + self.tdd.saturating_sub(count))
+                .saturating_sub(1)
+                .max(now);
+            if best.is_none_or(|b| at < b) {
+                best = Some(at);
+            }
+        }
+        best
     }
 }
 

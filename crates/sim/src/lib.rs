@@ -60,7 +60,7 @@ pub use config::SimConfig;
 pub use deadlock::{
     describe_cycle, find_deadlock, find_dependency_cycle, is_deadlocked, WaitForEdge,
 };
-pub use engine::Simulator;
+pub use engine::{ClockMode, Simulator};
 pub use escape::EscapeVcPlugin;
 pub use inspect::Snapshot;
 pub use netcore::{BubbleState, MoveEvent, NetCore, Resident};

@@ -170,6 +170,39 @@ impl NetCore {
         self.time += 1;
     }
 
+    /// Jump the clock forward by `gap` dead cycles at once (the leap
+    /// clock's O(1) time advance). The caller — [`crate::Simulator`]'s
+    /// leap logic — is responsible for proving the skipped cycles are
+    /// no-ops: empty runnable set, no wheel maturity, no traffic arrival,
+    /// no plugin timer strictly before `time + gap`. The skipped cycles
+    /// still count as simulated time, so `Stats` stays bit-identical to a
+    /// stepped run.
+    pub(crate) fn leap(&mut self, gap: u64) {
+        self.time += gap;
+        self.stats.cycles += gap;
+    }
+
+    /// The earliest cycle (`>= time`, i.e. possibly due already) at which a
+    /// time-wheel entry matures, or `None` if the wheel is empty. Entries
+    /// are never stale: the wheel is drained every executed cycle and leaps
+    /// never cross a maturity, so every resident entry lies within
+    /// `[time, time + WHEEL_SLOTS)` and slot distance is unambiguous.
+    pub(crate) fn next_wheel_event(&self) -> Option<u64> {
+        let cur = (self.time % WHEEL_SLOTS as u64) as usize;
+        let mut best: Option<u64> = None;
+        for (slot, entries) in self.wheel.iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let delta = (slot + WHEEL_SLOTS - cur) % WHEEL_SLOTS; // 0 = due now
+            let at = self.time + delta as u64;
+            if best.is_none_or(|b| at < b) {
+                best = Some(at);
+            }
+        }
+        best
+    }
+
     /// The network configuration.
     pub fn config(&self) -> SimConfig {
         self.cfg

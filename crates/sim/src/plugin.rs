@@ -147,6 +147,25 @@ pub trait Plugin {
         let _ = core;
         Vec::new()
     }
+
+    /// The earliest future cycle at which this plugin's *time-driven* state
+    /// can change: a timeout counter crossing its threshold, an in-flight
+    /// special message arriving, a TTL expiring. Consulted by the leap
+    /// clock ([`crate::ClockMode::Leap`]) when the runnable set is empty;
+    /// the engine will not execute any cycle strictly before the returned
+    /// value, and the plugin's `before_cycle`/`after_cycle` must account
+    /// for the skipped cycles (e.g. by advancing counters by the elapsed
+    /// time rather than by 1).
+    ///
+    /// The bound may be conservative (earlier than the true event — the
+    /// extra cycles are merely executed), but must never be later than the
+    /// first cycle whose execution differs from a no-op. `None` means "no
+    /// timed state at all" (the default); any value `<= core.time()` means
+    /// "do not leap".
+    fn next_timer(&self, core: &NetCore) -> Option<u64> {
+        let _ = core;
+        None
+    }
 }
 
 /// The no-mechanism plugin: plain VC allocation, no vetoes, no bubbles.

@@ -208,6 +208,10 @@ impl<T: TrafficSource> TrafficSource for Traced<T> {
         self.clear_events();
         self.inner.on_measurement_reset();
     }
+
+    fn next_arrival(&self, now: u64) -> Option<u64> {
+        self.inner.next_arrival(now)
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 
 use std::collections::HashMap;
 
-use static_bubble_repro::scenario::{Design, FaultSpec, Scenario, SimRunner, TrafficSpec};
+use static_bubble_repro::scenario::{
+    ClockMode, Design, FaultSpec, Scenario, SimRunner, TrafficSpec,
+};
 use static_bubble_repro::sim::Stats;
 
 struct Cli(HashMap<String, String>);
@@ -38,6 +40,7 @@ const KNOWN_KEYS: &[&str] = &[
     "heatmap",
     "scenario",
     "dump-scenario",
+    "clock",
 ];
 
 impl Cli {
@@ -131,6 +134,16 @@ fn apply_flags(cli: &Cli, mut s: Scenario) -> Scenario {
     if cli.flag("rate") {
         s = s.with_rate(cli.get("rate", 0.1f64));
     }
+    if let Some(mode) = cli.0.get("clock") {
+        s = s.with_clock(match mode.as_str() {
+            "step" => ClockMode::Step,
+            "leap" => ClockMode::Leap,
+            other => {
+                eprintln!("unknown --clock {other}; expected step or leap");
+                std::process::exit(2);
+            }
+        });
+    }
     s.with_warmup(warmup)
         .with_cycles(cycles)
         .with_tdd(tdd)
@@ -144,7 +157,7 @@ fn main() {
             "usage: sbsim [--design static-bubble|escape-vc|sp-tree|tree-only|none]\n\
              \x20            [--width 8] [--height 8] [--link-faults 0] [--router-faults 0]\n\
              \x20            [--rate 0.1] [--cycles 10000] [--warmup 1000] [--tdd 34]\n\
-             \x20            [--seed 1] [--heatmap]\n\
+             \x20            [--seed 1] [--heatmap] [--clock step|leap]\n\
              \x20            [--scenario FILE.toml|FILE.json] [--dump-scenario]"
         );
         return;
