@@ -1,0 +1,42 @@
+//! Performance smoke test for the saturated allocator regime: the case the
+//! SoA tables, bitset candidate masks and arena packet store were built
+//! for. Runs the `saturated` row of `BENCH_kernel.json` (16×16 unprotected
+//! mesh at rate 0.6) once with a plain timing loop and **fails** if the
+//! cycle rate regresses below the pre-SoA baseline — a cheap CI tripwire,
+//! not a benchmark (use `cargo bench -p sb-bench` for real numbers).
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin saturated_smoke
+//! ```
+
+use sb_scenario::{Design, Scenario, TrafficSpec};
+
+/// The committed `saturated` rate of the nested-`Vec` engine this overhaul
+/// replaced (cycles/sec on the reference machine). Dropping below the old
+/// layout's absolute rate means the layout work has been undone — machine
+/// variance moves this by tens of percent, not the 5× the SoA tables buy.
+const FLOOR_CYCLES_PER_SEC: f64 = 33_661.0;
+
+fn main() {
+    let cycles = 20_000u64;
+    let mut sim = Scenario::new("saturated-smoke", Design::Unprotected)
+        .with_mesh(16, 16)
+        .with_traffic(TrafficSpec::Uniform {
+            rate: 0.6,
+            single_vnet: true,
+        })
+        .with_seed(5)
+        .build();
+    sim.warmup(1_000);
+    let start = std::time::Instant::now();
+    sim.run(cycles);
+    let secs = start.elapsed().as_secs_f64();
+    let rate = cycles as f64 / secs;
+    println!("saturated_smoke: {rate:.0} cycles/sec over {cycles} cycles ({secs:.3}s)");
+    println!("floor (pre-SoA baseline): {FLOOR_CYCLES_PER_SEC:.0} cycles/sec");
+    assert!(
+        rate >= FLOOR_CYCLES_PER_SEC,
+        "saturated cycle rate {rate:.0} fell below the pre-SoA floor {FLOOR_CYCLES_PER_SEC:.0}"
+    );
+    println!("ok ({:.1}x the floor)", rate / FLOOR_CYCLES_PER_SEC);
+}

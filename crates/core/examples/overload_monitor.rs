@@ -70,11 +70,11 @@ fn main() {
             f.state,
             static_bubble::FsmState::SOff | static_bubble::FsmState::SDd
         ) {
-            let bub = sim.core().bubble(*b).unwrap();
+            let core = sim.core();
             println!("node {}: {:?} count={} tdr={} bubble_attach={:?} bubble_occupied={} occupant_wants={:?}",
-                b.0, f.state, f.count, f.tdr, bub.attach,
-                bub.slot.occupant().is_some(),
-                bub.slot.occupant().map(|o| o.pkt.desired_hop()));
+                b.0, f.state, f.count, f.tdr, core.bubble_attach(*b),
+                core.bubble_occupant(*b).is_some(),
+                core.bubble_occupant(*b).map(|p| p.desired_hop()));
         }
     }
 }

@@ -22,7 +22,7 @@
 use crate::fsm::{FsmState, SbFsm, VcPointer};
 use crate::msg::{InFlightMsg, MsgKind, SpecialMsg};
 use crate::placement;
-use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, VcSlot, Violation};
+use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, Violation};
 use sb_topology::{Direction, Mesh, NodeId, Turn, DIRECTIONS};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -256,9 +256,8 @@ impl StaticBubblePlugin {
                 // by a stranded packet it cannot currently recover anything,
                 // so it defers to lower-id nodes instead of suppressing
                 // them.
-                let bubble_usable = core
-                    .bubble(router)
-                    .is_some_and(|b| b.slot.occupant().is_none());
+                let bubble_usable =
+                    core.has_bubble(router) && core.bubble_occupant(router).is_none();
                 if is_sb && msg.sender < router && bubble_usable {
                     DBG_LOWER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return vec![Action::Drop];
@@ -474,9 +473,7 @@ impl StaticBubblePlugin {
                 // The bubble may still hold a leftover occupant from an
                 // aborted earlier recovery; it cannot be re-armed until that
                 // packet drains.
-                let bubble_free = core
-                    .bubble(router)
-                    .is_some_and(|b| b.slot.occupant().is_none());
+                let bubble_free = core.has_bubble(router) && core.bubble_occupant(router).is_none();
                 if !holds || !bubble_free {
                     if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
                         eprintln!(
@@ -551,28 +548,28 @@ impl StaticBubblePlugin {
     /// behind unrelated congestion.
     fn relocate_bubble_occupants(&mut self, core: &mut NetCore) {
         let nodes: Vec<NodeId> = self.fsms.keys().copied().collect();
-        let now = core.time();
         for router in nodes {
-            let Some(b) = core.bubble(router) else {
+            let Some((port, vnet)) = core.bubble_attach(router) else {
                 continue;
             };
-            let Some((port, vnet)) = b.attach else {
-                continue;
-            };
-            if b.slot.occupant().is_none() {
+            if core.bubble_occupant(router).is_none() {
                 continue;
             }
             let Some(free_vc) = core.first_free_regular_vc(router, port, vnet) else {
                 continue;
             };
-            // Move the packet bubble → regular VC (intra-router, no link).
-            let occ = core.bubble_take_occupant(router).expect("checked occupied");
-            core.vc_mut(VcRef {
-                router,
-                port,
-                vc: free_vc,
-            })
-            .put(occ, now);
+            // Move the packet bubble → regular VC (intra-router, no link),
+            // keeping its hop-pipeline readiness.
+            let (h, ready) = core.bubble_take_occupant(router).expect("checked occupied");
+            core.vc_put(
+                VcRef {
+                    router,
+                    port,
+                    vc: free_vc,
+                },
+                h,
+                ready,
+            );
             // The bubble is re-claimed: same transition as on_bubble_freed.
             self.on_bubble_freed(core, router);
         }
@@ -598,11 +595,11 @@ impl StaticBubblePlugin {
             let i = (start + k) % total;
             let port = Direction::from_index(i / vcs as usize);
             let vc = (i % vcs as usize) as u8;
-            if let Some(occ) = core.vc(VcRef { router, port, vc }).occupant() {
+            if let Some(pkt) = core.vc_occupant(VcRef { router, port, vc }) {
                 return Some(VcPointer {
                     port,
                     vc,
-                    pkt: occ.pkt.id,
+                    pkt: pkt.id,
                 });
             }
         }
@@ -627,22 +624,22 @@ impl StaticBubblePlugin {
             }
             FsmState::SDd => {
                 let watched = fsm.watching.expect("SDd has a pointer");
-                let slot = core.vc(VcRef {
-                    router,
-                    port: watched.port,
-                    vc: watched.vc,
-                });
-                let still_waiting = slot
-                    .occupant()
-                    .filter(|o| o.pkt.id == watched.pkt)
-                    .and_then(|o| o.pkt.desired_hop());
+                let occ = core
+                    .vc_occupant(VcRef {
+                        router,
+                        port: watched.port,
+                        vc: watched.vc,
+                    })
+                    .filter(|p| p.id == watched.pkt);
+                let watched_vnet = occ.map(|p| p.vnet);
+                let still_waiting = occ.and_then(|p| p.desired_hop());
                 match still_waiting {
                     Some(dir) => {
                         fsm.count += dt;
                         if fsm.count >= fsm.effective_tdd() {
                             // Timeout: suspected deadlock. Send a probe out
                             // of the output port the stuck packet wants.
-                            let vnet = slot.occupant().expect("checked").pkt.vnet;
+                            let vnet = watched_vnet.expect("checked occupied");
                             fsm.probe_out = dir;
                             fsm.probe_vnet = vnet;
                             fsm.restart_counter();
@@ -744,9 +741,8 @@ impl StaticBubblePlugin {
                 // Watchdog (deviation, see DESIGN.md): an *unclaimed* bubble
                 // for t_DR cycles is treated like a reclaim — switch it off
                 // and re-verify the chain with a check-probe.
-                let bubble_empty = core
-                    .bubble(router)
-                    .is_some_and(|b| b.slot.occupant().is_none());
+                let bubble_empty =
+                    core.has_bubble(router) && core.bubble_occupant(router).is_none();
                 if bubble_empty {
                     fsm.count += dt;
                     if fsm.count > fsm.tdr {
@@ -927,26 +923,20 @@ impl Plugin for StaticBubblePlugin {
                     // may already hold now. Be conservative: if anything is
                     // occupied, refuse to leap so the transition happens on
                     // the very next tick, as it would under the step clock.
-                    let occupied = DIRECTIONS.iter().any(|&port| {
-                        core.vcs_at(router, port)
-                            .iter()
-                            .any(|s| s.occupant().is_some())
-                    });
-                    if occupied {
+                    if core.any_occupied(router) {
                         note(now);
                     }
                 }
                 FsmState::SDd => {
                     let watched = fsm.watching.expect("SDd has a pointer");
                     let still_waiting = core
-                        .vc(VcRef {
+                        .vc_occupant(VcRef {
                             router,
                             port: watched.port,
                             vc: watched.vc,
                         })
-                        .occupant()
-                        .filter(|o| o.pkt.id == watched.pkt)
-                        .and_then(|o| o.pkt.desired_hop());
+                        .filter(|p| p.id == watched.pkt)
+                        .and_then(|p| p.desired_hop());
                     match still_waiting {
                         // Counting towards the probe timeout.
                         Some(_) => note(
@@ -965,8 +955,8 @@ impl Plugin for StaticBubblePlugin {
                     note(now + (fsm.tdr + 1).saturating_sub(fsm.count).saturating_sub(1));
                 }
                 FsmState::SSbActive => {
-                    let bubble = core.bubble(router);
-                    let bubble_empty = bubble.is_some_and(|b| b.slot.occupant().is_none());
+                    let bubble_empty =
+                        core.has_bubble(router) && core.bubble_occupant(router).is_none();
                     let th = if bubble_empty {
                         fsm.tdr
                     } else {
@@ -976,14 +966,13 @@ impl Plugin for StaticBubblePlugin {
                     // Footnote-6 relocation (after_cycle) triggers as soon
                     // as a regular VC at the attach port frees — which can
                     // happen purely by time when a slot is draining.
-                    if let Some(b) = bubble {
-                        if b.slot.occupant().is_some() {
-                            if let Some((port, vnet)) = b.attach {
-                                let slots = core.vcs_at(router, port);
-                                for i in core.config().vcs_of_vnet(vnet) {
-                                    if let VcSlot::Draining { until } = &slots[i as usize] {
-                                        note(*until);
-                                    }
+                    if core.bubble_occupant(router).is_some() {
+                        if let Some((port, vnet)) = core.bubble_attach(router) {
+                            for vc in core.config().vcs_of_vnet(vnet) {
+                                if let Some(until) =
+                                    core.vc_draining_until(VcRef { router, port, vc })
+                                {
+                                    note(until);
                                 }
                             }
                         }
@@ -1016,10 +1005,7 @@ impl Plugin for StaticBubblePlugin {
         // may inject into the protected output.
         match input {
             InputRef::Vc(v) => v.port == chain_in,
-            InputRef::Bubble(b) => core
-                .bubble(b)
-                .and_then(|s| s.attach)
-                .is_some_and(|(p, _)| p == chain_in),
+            InputRef::Bubble(b) => core.bubble_attach(b).is_some_and(|(p, _)| p == chain_in),
             InputRef::Inject { .. } => false,
         }
     }
@@ -1077,7 +1063,7 @@ impl Plugin for StaticBubblePlugin {
         for (&node, fsm) in self.fsms.iter() {
             // (b) Bubble attachment <=> FSM in SSbActive, with the attach
             // port/vnet agreeing with the latched chain.
-            let attach = core.bubble(node).and_then(|b| b.attach);
+            let attach = core.bubble_attach(node);
             match (fsm.state == FsmState::SSbActive, attach) {
                 (true, None) => out.push(Violation {
                     class: AuditClass::FsmLegality,
@@ -1115,9 +1101,7 @@ impl Plugin for StaticBubblePlugin {
         }
         // (d) Attached bubbles exist only at static-bubble routers.
         for node in core.topology().mesh().nodes() {
-            if core.bubble(node).is_some_and(|b| b.attach.is_some())
-                && !self.fsms.contains_key(&node)
-            {
+            if core.bubble_attach(node).is_some() && !self.fsms.contains_key(&node) {
                 out.push(Violation {
                     class: AuditClass::FsmLegality,
                     router: Some(node),

@@ -2,7 +2,7 @@
 //! Details").
 
 use sb_routing::{MinimalRouting, Route};
-use sb_sim::{NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef};
+use sb_sim::{NewPacket, NoTraffic, Packet, PacketId, SimConfig, Simulator, VcRef};
 use sb_topology::{Direction, Mesh, NodeId, Topology};
 use static_bubble::{FsmState, SbOptions, StaticBubblePlugin};
 
@@ -29,8 +29,7 @@ fn place(
         0,
     );
     sim.core_mut()
-        .vc_mut(VcRef { router, port, vc })
-        .put(OccVc { pkt, ready_at: 0 }, 0);
+        .place_packet(VcRef { router, port, vc }, pkt, 0);
 }
 
 /// Stage the standard clockwise 2×2 ring with corners at `(x0, y0)` using

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use sb_routing::{MinimalRouting, Route};
-use sb_sim::{NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef};
+use sb_sim::{NewPacket, NoTraffic, Packet, PacketId, SimConfig, Simulator, VcRef};
 use sb_topology::{Direction, FaultKind, FaultModel, Mesh, Topology};
 use static_bubble::{placement, StaticBubblePlugin};
 
@@ -112,8 +112,7 @@ proptest! {
                 0,
             );
             sim.core_mut()
-                .vc_mut(VcRef { router: *router, port: *port, vc: 0 })
-                .put(OccVc { pkt, ready_at: 0 }, 0);
+                .place_packet(VcRef { router: *router, port: *port, vc: 0 }, pkt, 0);
         }
         // Only proceed when the staging actually deadlocks (the mirrored
         // variant is a best-effort cycle; some placements self-resolve).

@@ -59,13 +59,15 @@ fn stage_ring(sim: &mut SbSim<NoTraffic>) -> [NodeId; 4] {
             sb_routing::Route::new(route),
             0,
         );
-        sim.core_mut()
-            .vc_mut(sb_sim::VcRef {
+        sim.core_mut().place_packet(
+            sb_sim::VcRef {
                 router,
                 port,
                 vc: 0,
-            })
-            .put(sb_sim::OccVc { pkt, ready_at: 0 }, 0);
+            },
+            pkt,
+            0,
+        );
     };
     place(sim, b, South, 1, d, vec![East, South]);
     place(sim, c, West, 2, a, vec![South, West]);
@@ -101,7 +103,7 @@ fn staged_ring_deadlock_is_fully_recovered() {
     let sb_node = mesh.node_at(1, 1);
     let fsm = sim.plugin().fsm(sb_node).expect("SB node has FSM");
     assert!(matches!(fsm.state, FsmState::SOff | FsmState::SDd));
-    assert!(sim.core().bubble(sb_node).unwrap().attach.is_none());
+    assert!(sim.core().bubble_attach(sb_node).is_none());
 }
 
 #[test]
@@ -284,13 +286,15 @@ fn two_simultaneous_deadlocks_resolve_in_parallel() {
                 sb_routing::Route::new(route),
                 0,
             );
-            sim.core_mut()
-                .vc_mut(sb_sim::VcRef {
+            sim.core_mut().place_packet(
+                sb_sim::VcRef {
                     router,
                     port,
                     vc: 0,
-                })
-                .put(sb_sim::OccVc { pkt, ready_at: 0 }, 0);
+                },
+                pkt,
+                0,
+            );
         }
     };
     ring(&mut sim, 1, 1);

@@ -24,7 +24,7 @@
 //! — exactly the sequence of Fig. 6(a).
 
 use sb_routing::{MinimalRouting, Route};
-use sb_sim::{NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef};
+use sb_sim::{NewPacket, NoTraffic, Packet, PacketId, SimConfig, Simulator, VcRef};
 use sb_topology::{Direction, Mesh, NodeId, Turn};
 use static_bubble::{FsmState, SbOptions, StaticBubblePlugin};
 
@@ -51,8 +51,7 @@ fn place(
         0,
     );
     sim.core_mut()
-        .vc_mut(VcRef { router, port, vc })
-        .put(OccVc { pkt, ready_at: 0 }, 0);
+        .place_packet(VcRef { router, port, vc }, pkt, 0);
 }
 
 fn build() -> (Sim, NodeId) {
@@ -159,9 +158,8 @@ fn figure6_probe_records_llsll_and_recovery_completes() {
     );
     // All six routers of the chain are frozen.
     assert_eq!(sim.plugin().frozen_routers(), 6);
-    let bubble = sim.core().bubble(node5).unwrap();
     assert_eq!(
-        bubble.attach,
+        sim.core().bubble_attach(node5),
         Some((Direction::South, 0)),
         "bubble serves the chain port"
     );
@@ -187,10 +185,7 @@ fn figure6_probe_records_llsll_and_recovery_completes() {
     );
     let fsm = sim.plugin().fsm(node5).unwrap();
     assert!(matches!(fsm.state, FsmState::SOff | FsmState::SDd));
-    assert!(
-        sim.core().bubble(node5).unwrap().attach.is_none(),
-        "bubble off"
-    );
+    assert!(sim.core().bubble_attach(node5).is_none(), "bubble off");
     assert_eq!(
         sim.plugin().in_flight_messages(),
         0,
@@ -215,13 +210,13 @@ fn figure6_one_free_buffer_resolves_the_ring_by_itself() {
     let n9 = sb_topology::Mesh::new(4, 4).node_at(1, 2);
     let taken = sim
         .core_mut()
-        .vc_mut(VcRef {
+        .remove_packet(VcRef {
             router: n9,
             port: Direction::South,
             vc: 1,
         })
-        .take(0);
-    assert_eq!(taken.pkt.id, PacketId('Z' as u64));
+        .expect("Z was staged there");
+    assert_eq!(taken.id, PacketId('Z' as u64));
     assert!(!sim.deadlocked_now(), "one hole makes the ring live");
     assert!(sim.run_until_drained(5_000));
     assert_eq!(sim.core().stats().delivered_packets, 11);

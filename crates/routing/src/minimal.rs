@@ -33,25 +33,39 @@ use sb_topology::{distances_from, Direction, NodeId, Topology};
 #[derive(Debug, Clone)]
 pub struct MinimalRouting {
     topo: Topology,
-    /// `dist[dst][n]` = hops from `n` to `dst`.
-    dist: Vec<Vec<Option<u32>>>,
+    /// Flat row-major distance table: `dist[dst * n + src]` = hops from
+    /// `src` to `dst`, [`UNREACHABLE`] when disconnected. One contiguous
+    /// allocation and one indexed load per query — the injection path
+    /// consults this once per offered packet, so the former
+    /// `Vec<Vec<Option<u32>>>` double indirection was measurable.
+    dist: Vec<u32>,
+    /// Row stride (node count).
+    n: usize,
     /// On a fully-functional mesh the minimal next hops are exactly the
     /// coordinate-reducing directions, so `route` can skip the distance
     /// tables entirely.
     pristine: bool,
 }
 
+/// Sentinel distance for "no surviving path".
+const UNREACHABLE: u32 = u32::MAX;
+
 impl MinimalRouting {
     /// Precompute shortest-path distances over `topo`.
     pub fn new(topo: &Topology) -> Self {
-        let dist = topo
-            .mesh()
-            .nodes()
-            .map(|dst| distances_from(topo, dst))
-            .collect();
+        let n = topo.mesh().node_count();
+        let mut dist = Vec::with_capacity(n * n);
+        for dst in topo.mesh().nodes() {
+            dist.extend(
+                distances_from(topo, dst)
+                    .into_iter()
+                    .map(|d| d.unwrap_or(UNREACHABLE)),
+            );
+        }
         MinimalRouting {
             topo: topo.clone(),
             dist,
+            n,
             pristine: topo.is_pristine(),
         }
     }
@@ -59,7 +73,8 @@ impl MinimalRouting {
     /// Hops from `src` to `dst` over the surviving graph, `None` if
     /// unreachable.
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
-        self.dist[dst.index()][src.index()]
+        let d = self.dist[dst.index() * self.n + src.index()];
+        (d != UNREACHABLE).then_some(d)
     }
 
     /// Is `dst` reachable from `src`?
@@ -164,11 +179,11 @@ impl MinimalRouting {
     }
 
     fn dist_from(&self, src: NodeId) -> Vec<Option<u32>> {
-        // dist[dst][src] is stored; gather per-src view.
+        // dist[dst * n + src] is stored; gather per-src view.
         self.topo
             .mesh()
             .nodes()
-            .map(|dst| self.dist[dst.index()][src.index()])
+            .map(|dst| self.distance(src, dst))
             .collect()
     }
 }
@@ -221,7 +236,7 @@ impl RouteSource for MinimalRouting {
             }
             return Some(Route::new(hops));
         }
-        let dist_to_dst = &self.dist[dst.index()];
+        let dist_to_dst = &self.dist[dst.index() * self.n..][..self.n];
         let mut cur = src;
         while d > 0 {
             // Stack-allocated equivalent of [`Self::minimal_next_hops`]
@@ -231,7 +246,8 @@ impl RouteSource for MinimalRouting {
             let mut nexts = [Direction::North; 4];
             let mut n = 0;
             for (dir, v) in self.topo.neighbors(cur) {
-                if dist_to_dst[v.index()] == Some(d - 1) {
+                // `d - 1` can never equal the UNREACHABLE sentinel.
+                if dist_to_dst[v.index()] == d - 1 {
                     nexts[n] = dir;
                     n += 1;
                 }
@@ -247,6 +263,13 @@ impl RouteSource for MinimalRouting {
 
     fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
         self.distance(src, dst).map(|d| d as usize)
+    }
+
+    fn routable(&self, src: NodeId, dst: NodeId) -> bool {
+        // One load, no Option re-wrap, no second virtual dispatch through
+        // the default `hop_count`-based implementation: this is the
+        // per-offer admission check of the saturated injection path.
+        self.dist[dst.index() * self.n + src.index()] != UNREACHABLE
     }
 }
 

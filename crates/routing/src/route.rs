@@ -120,6 +120,19 @@ pub trait RouteSource {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         self.route(src, dst, &mut rng).map(|r| r.hops())
     }
+
+    /// Can a packet at `src` reach `dst` at all under this routing function?
+    ///
+    /// The injection path uses this to apply the drop-at-NI rule for
+    /// unreachable destinations *without* paying for a full route: the route
+    /// itself is stamped lazily, when the packet reaches the head of its
+    /// source queue. Defaults to deriving the answer from
+    /// [`RouteSource::hop_count`]; table-driven sources (e.g. minimal
+    /// routing's BFS distance table) answer in O(1) through their
+    /// `hop_count` override.
+    fn routable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.hop_count(src, dst).is_some()
+    }
 }
 
 #[cfg(test)]

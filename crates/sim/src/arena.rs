@@ -1,0 +1,255 @@
+//! The packet arena: a slab store with generational handles.
+//!
+//! Every live packet in the simulation — resident in a VC, sitting in a
+//! static bubble, or queued at a source NI — lives in exactly one
+//! [`PacketArena`] slot and is referred to everywhere else by a 4-byte
+//! [`PacketHandle`]. Moving a packet across the network moves the handle,
+//! not the `Packet` (whose stamped [`sb_routing::Route`] owns a heap
+//! allocation); the payload is touched only when a field is actually read.
+//!
+//! # Lifetime rules
+//!
+//! A handle is minted by [`PacketArena::insert`] and dies at the matching
+//! [`PacketArena::remove`] — which the engine calls at exactly two points:
+//! delivery (ejection) and loss/drop during reconfiguration. Any handle
+//! copy that outlives that removal *dangles*. Slots are recycled through a
+//! free list, so a dangling handle's index may point at a different, newer
+//! packet; the per-slot generation counter catches this: every `remove`
+//! bumps the slot's generation, and every dereference checks the handle's
+//! stamped generation against the slot's. A stale dereference panics
+//! instead of silently reading the wrong packet. (The generation is 8 bits,
+//! so a slot must be recycled exactly 256 times between the copy and the
+//! stale use for a mismatch to go undetected — and the conservation audit
+//! independently cross-checks the live-slot count against the buffer census
+//! every audited cycle.)
+
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Bits of a [`PacketHandle`] used for the slot index (the rest hold the
+/// generation). 16.7M concurrently-live packets bounds any reachable
+/// simulation (a 64×64 mesh with every VC, bubble and a 4000-deep queue per
+/// node is still an order of magnitude smaller).
+const INDEX_BITS: u32 = 24;
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+
+/// A 4-byte generational reference to a packet in a [`PacketArena`]:
+/// 24 bits of slot index, 8 bits of generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketHandle(u32);
+
+impl PacketHandle {
+    /// The reserved "no packet" sentinel, used by the flat VC tables for
+    /// empty slots. Never minted by [`PacketArena::insert`].
+    pub const NONE: PacketHandle = PacketHandle(u32::MAX);
+
+    /// Is this the [`PacketHandle::NONE`] sentinel?
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// Is this a real (non-sentinel) handle?
+    pub fn is_some(self) -> bool {
+        self != Self::NONE
+    }
+
+    fn new(index: usize, gen: u8) -> Self {
+        assert!(
+            index < INDEX_MASK as usize,
+            "packet arena overflow: {index} live packets"
+        );
+        PacketHandle((gen as u32) << INDEX_BITS | index as u32)
+    }
+
+    fn index(self) -> usize {
+        (self.0 & INDEX_MASK) as usize
+    }
+
+    fn generation(self) -> u8 {
+        (self.0 >> INDEX_BITS) as u8
+    }
+}
+
+impl Default for PacketHandle {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// Slab storage for every live [`Packet`], addressed by [`PacketHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    gens: Vec<u8>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// An empty arena with room for `cap` packets before regrowing.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(cap),
+            gens: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Store `pkt` and return its handle.
+    pub fn insert(&mut self, pkt: Packet) -> PacketHandle {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            let i = i as usize;
+            debug_assert!(self.slots[i].is_none());
+            self.slots[i] = Some(pkt);
+            PacketHandle::new(i, self.gens[i])
+        } else {
+            let i = self.slots.len();
+            self.slots.push(Some(pkt));
+            self.gens.push(0);
+            PacketHandle::new(i, 0)
+        }
+    }
+
+    /// The packet behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is [`PacketHandle::NONE`], dangles (its slot was
+    /// freed), or is stale (its slot was freed and recycled — generation
+    /// mismatch).
+    pub fn get(&self, h: PacketHandle) -> &Packet {
+        self.check(h);
+        self.slots[h.index()].as_ref().expect("checked live")
+    }
+
+    /// Mutable access to the packet behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PacketArena::get`].
+    pub fn get_mut(&mut self, h: PacketHandle) -> &mut Packet {
+        self.check(h);
+        self.slots[h.index()].as_mut().expect("checked live")
+    }
+
+    /// Free `h`'s slot and return the packet by value. The slot's
+    /// generation is bumped so every surviving copy of `h` becomes stale.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PacketArena::get`].
+    pub fn remove(&mut self, h: PacketHandle) -> Packet {
+        self.check(h);
+        let i = h.index();
+        let pkt = self.slots[i].take().expect("checked live");
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(i as u32);
+        self.live -= 1;
+        pkt
+    }
+
+    /// Number of live packets.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[track_caller]
+    fn check(&self, h: PacketHandle) {
+        assert!(h.is_some(), "dereferenced PacketHandle::NONE");
+        let i = h.index();
+        assert!(
+            i < self.slots.len(),
+            "packet handle {i} out of arena bounds {}",
+            self.slots.len()
+        );
+        assert!(
+            self.gens[i] == h.generation() && self.slots[i].is_some(),
+            "stale packet handle: slot {i} gen {} vs handle gen {} \
+             (the packet was delivered or lost and the slot recycled)",
+            self.gens[i],
+            h.generation()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NewPacket, PacketId};
+    use sb_routing::Route;
+    use sb_topology::NodeId;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(
+            PacketId(id),
+            NewPacket {
+                src: NodeId(0),
+                dst: NodeId(1),
+                vnet: 0,
+                len_flits: 5,
+            },
+            Route::default(),
+            0,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = PacketArena::default();
+        let h1 = a.insert(pkt(1));
+        let h2 = a.insert(pkt(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h1).id, PacketId(1));
+        a.get_mut(h2).injected_at = 9;
+        assert_eq!(a.get(h2).injected_at, 9);
+        let out = a.remove(h1);
+        assert_eq!(out.id, PacketId(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(h2).id, PacketId(2));
+    }
+
+    #[test]
+    fn slots_are_recycled_with_fresh_generations() {
+        let mut a = PacketArena::default();
+        let h1 = a.insert(pkt(1));
+        a.remove(h1);
+        let h2 = a.insert(pkt(2));
+        // Same slot, different generation: distinct handles.
+        assert_ne!(h1, h2);
+        assert_eq!(a.get(h2).id, PacketId(2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn stale_handle_after_recycle_panics() {
+        let mut a = PacketArena::default();
+        let h1 = a.insert(pkt(1));
+        a.remove(h1);
+        let _h2 = a.insert(pkt(2)); // recycles h1's slot
+        a.get(h1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn dangling_handle_without_recycle_panics() {
+        let mut a = PacketArena::default();
+        let h = a.insert(pkt(1));
+        a.remove(h);
+        a.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "PacketHandle::NONE")]
+    fn none_sentinel_panics() {
+        let a = PacketArena::default();
+        a.get(PacketHandle::NONE);
+    }
+}

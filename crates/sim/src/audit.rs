@@ -12,9 +12,12 @@
 //!
 //! * **Conservation** — `offered = in-network + delivered + dropped + lost`
 //!   for packets and flits, globally and per vnet ([`check_conservation`]);
-//! * **VC legality** — structural capacity, draining slots expire within a
-//!   packet length, occupants sit in a VC of their own vnet, hop-pipeline
-//!   timestamps are in bounds ([`check_vc_legality`]);
+//! * **VC legality** — draining slots expire within a packet length,
+//!   occupants sit in a VC of their own vnet, hop-pipeline timestamps are in
+//!   bounds, and the SoA caches cohere: occupancy words match the occupant
+//!   handles, cached head bytes match the packets' actual desired hops, and
+//!   the packet arena's live count matches the buffer census
+//!   ([`check_vc_legality`], with the census in [`check_conservation`]);
 //! * **FSM legality** — only the Fig. 6 transition edges, one owner per
 //!   bubble, disable implies restriction (plugin-owned, via
 //!   [`crate::Plugin::audit_check`]);
@@ -180,6 +183,22 @@ pub fn check_conservation(core: &NetCore, out: &mut Vec<Violation>) {
             ),
         );
     }
+    // Arena census: every live arena slot must be reachable from exactly
+    // one buffer (VC, bubble, or a materialized queue head) — a leaked or
+    // double-held handle shows up here even if the stats happen to
+    // balance. Queue *tails* are unmaterialized descriptors and hold no
+    // arena slot, so they are excluded from the expected count.
+    let buffered = res.packets + core.queued_heads() as u64;
+    if core.arena().len() as u64 != buffered {
+        push(
+            out,
+            format!(
+                "arena census: {} live slots != {} buffered handles (VCs + bubbles + queue heads)",
+                core.arena().len(),
+                buffered
+            ),
+        );
+    }
     let in_net_flits = res.flits + res.queued_flits;
     let accounted_flits = in_net_flits + s.delivered_flits + s.dropped_flits + s.lost_flits;
     if s.offered_flits != accounted_flits {
@@ -213,14 +232,19 @@ pub fn check_conservation(core: &NetCore, out: &mut Vec<Violation>) {
     }
 }
 
-/// Check credit/VC legality at every router: structural capacity, draining
-/// slots that expire within one packet length, occupants resident in a VC
-/// of their own vnet with in-bounds hop-pipeline timestamps, and bubble
-/// occupants consistent with the attach.
+/// Check credit/VC legality at every router, directly over the SoA tables:
+/// draining slots that expire within one packet length, occupants resident
+/// in a VC of their own vnet with in-bounds hop-pipeline timestamps, bubble
+/// occupants consistent with the attach — plus the coherence invariants the
+/// flat layout introduced: the per-router occupancy word must match the
+/// occupant handles bit for bit, the cached head byte must match the
+/// packet's actual desired hop, and an occupied slot must carry no drain
+/// deadline.
 pub fn check_vc_legality(core: &NetCore, out: &mut Vec<Violation>) {
-    use crate::vc::VcSlot;
+    use crate::netcore::head_of;
     let cfg = core.config();
     let now = core.time();
+    let vcs = cfg.vcs_per_port();
     let drain_bound = now + cfg.max_packet_flits as u64;
     let ready_bound = now + crate::engine::HOP_LATENCY;
     for router in core.topology().mesh().nodes() {
@@ -231,74 +255,100 @@ pub fn check_vc_legality(core: &NetCore, out: &mut Vec<Violation>) {
                 detail,
             });
         };
+        let r = router.index();
+        let base = core.vc_base(router);
+        let mut derived_mask = 0u64;
         for port in DIRECTIONS {
-            let slots = core.vcs_at(router, port);
-            if slots.len() != cfg.vcs_per_port() {
-                fail(format!(
-                    "port {port:?}: {} VC slots, capacity is {}",
-                    slots.len(),
-                    cfg.vcs_per_port()
-                ));
-                continue;
-            }
-            for (i, slot) in slots.iter().enumerate() {
-                match slot {
-                    VcSlot::Free => {}
-                    VcSlot::Draining { until } => {
-                        if *until > drain_bound {
-                            fail(format!(
-                                "port {port:?} vc {i}: draining until {until} \
-                                 > bound {drain_bound} (never expires)"
-                            ));
-                        }
+            for vc in 0..vcs {
+                let i = port.index() * vcs + vc;
+                let flat = base + i;
+                let h = core.vc_occ[flat];
+                if h.is_some() {
+                    derived_mask |= 1u64 << i;
+                    // A stale handle panics inside the arena — that is
+                    // corruption beyond what a report can describe.
+                    let pkt = core.arena.get(h);
+                    if cfg.vnet_of(vc as u8) != pkt.vnet {
+                        fail(format!(
+                            "port {port:?} vc {vc} (vnet {}) holds pkt {} of vnet {}",
+                            cfg.vnet_of(vc as u8),
+                            pkt.id.0,
+                            pkt.vnet
+                        ));
                     }
-                    VcSlot::Occupied(occ) => {
-                        if cfg.vnet_of(i as u8) != occ.pkt.vnet {
-                            fail(format!(
-                                "port {port:?} vc {i} (vnet {}) holds pkt {} of vnet {}",
-                                cfg.vnet_of(i as u8),
-                                occ.pkt.id.0,
-                                occ.pkt.vnet
-                            ));
-                        }
-                        if occ.ready_at > ready_bound {
-                            fail(format!(
-                                "port {port:?} vc {i}: ready_at {} > bound {ready_bound}",
-                                occ.ready_at
-                            ));
-                        }
+                    if core.vc_ready[flat] > ready_bound {
+                        fail(format!(
+                            "port {port:?} vc {vc}: ready_at {} > bound {ready_bound}",
+                            core.vc_ready[flat]
+                        ));
                     }
+                    if core.vc_head[flat] != head_of(pkt) {
+                        fail(format!(
+                            "port {port:?} vc {vc}: cached head {} != packet's desired \
+                             output {} (stale after a restamp?)",
+                            core.vc_head[flat],
+                            head_of(pkt)
+                        ));
+                    }
+                    if core.vc_drain[flat] != 0 {
+                        fail(format!(
+                            "port {port:?} vc {vc}: occupied slot carries drain deadline {}",
+                            core.vc_drain[flat]
+                        ));
+                    }
+                } else if core.vc_drain[flat] > drain_bound {
+                    fail(format!(
+                        "port {port:?} vc {vc}: draining until {} > bound {drain_bound} \
+                         (never expires)",
+                        core.vc_drain[flat]
+                    ));
                 }
             }
         }
-        if let Some(b) = core.bubble(router) {
-            match &b.slot {
-                VcSlot::Free => {}
-                VcSlot::Draining { until } => {
-                    if *until > drain_bound {
+        if core.occ_mask[r] != derived_mask {
+            fail(format!(
+                "occupancy word {:#x} != {:#x} derived from occupant handles",
+                core.occ_mask[r], derived_mask
+            ));
+        }
+        if core.has_bubble(router) {
+            let h = core.bub_occ[r];
+            if h.is_some() {
+                let pkt = core.arena.get(h);
+                // A deactivated bubble may still drain an occupant, but an
+                // *attached* bubble must agree with its occupant.
+                if let Some((_, vnet)) = core.bubble_attach(router) {
+                    if vnet != pkt.vnet {
                         fail(format!(
-                            "bubble: draining until {until} > bound {drain_bound}"
+                            "bubble attached for vnet {vnet} holds pkt {} of vnet {}",
+                            pkt.id.0, pkt.vnet
                         ));
                     }
                 }
-                VcSlot::Occupied(occ) => {
-                    // A deactivated bubble may still drain an occupant, but
-                    // an *attached* bubble must agree with its occupant.
-                    if let Some((_, vnet)) = b.attach {
-                        if vnet != occ.pkt.vnet {
-                            fail(format!(
-                                "bubble attached for vnet {vnet} holds pkt {} of vnet {}",
-                                occ.pkt.id.0, occ.pkt.vnet
-                            ));
-                        }
-                    }
-                    if occ.ready_at > ready_bound {
-                        fail(format!(
-                            "bubble: ready_at {} > bound {ready_bound}",
-                            occ.ready_at
-                        ));
-                    }
+                if core.bub_ready[r] > ready_bound {
+                    fail(format!(
+                        "bubble: ready_at {} > bound {ready_bound}",
+                        core.bub_ready[r]
+                    ));
                 }
+                if core.bub_head[r] != head_of(pkt) {
+                    fail(format!(
+                        "bubble: cached head {} != packet's desired output {}",
+                        core.bub_head[r],
+                        head_of(pkt)
+                    ));
+                }
+                if core.bub_drain[r] != 0 {
+                    fail(format!(
+                        "bubble: occupied slot carries drain deadline {}",
+                        core.bub_drain[r]
+                    ));
+                }
+            } else if core.bub_drain[r] > drain_bound {
+                fail(format!(
+                    "bubble: draining until {} > bound {drain_bound}",
+                    core.bub_drain[r]
+                ));
             }
         }
     }

@@ -45,16 +45,13 @@ pub fn find_deadlock(core: &NetCore) -> Vec<InputRef> {
         for port in DIRECTIONS {
             for vc in 0..cfg.vcs_per_port() as u8 {
                 let r = VcRef { router, port, vc };
-                if core.vc(r).occupant().is_some() {
+                if core.vc_occupant(r).is_some() {
                     index.insert(Buf::Vc(r), bufs.len());
                     bufs.push(Buf::Vc(r));
                 }
             }
         }
-        if core
-            .bubble(router)
-            .is_some_and(|b| b.slot.occupant().is_some())
-        {
+        if core.bubble_occupant(router).is_some() {
             index.insert(Buf::Bubble(router), bufs.len());
             bufs.push(Buf::Bubble(router));
         }
@@ -66,16 +63,8 @@ pub fn find_deadlock(core: &NetCore) -> Vec<InputRef> {
     let mut queue = VecDeque::new();
     for (i, &buf) in bufs.iter().enumerate() {
         let pkt = match buf {
-            Buf::Vc(r) => &core.vc(r).occupant().expect("indexed occupied").pkt,
-            Buf::Bubble(r) => {
-                &core
-                    .bubble(r)
-                    .expect("indexed bubble")
-                    .slot
-                    .occupant()
-                    .expect("indexed occupied")
-                    .pkt
-            }
+            Buf::Vc(r) => core.vc_occupant(r).expect("indexed occupied"),
+            Buf::Bubble(r) => core.bubble_occupant(r).expect("indexed occupied"),
         };
         let router = match buf {
             Buf::Vc(r) => r.router,
@@ -101,7 +90,7 @@ pub fn find_deadlock(core: &NetCore) -> Vec<InputRef> {
                 port,
                 vc,
             };
-            if core.vc(r).occupant().is_none() {
+            if core.vc_occupant(r).is_none() {
                 // Free now, or draining — a draining slot frees in bounded
                 // time, so it is as good as free for liveness.
                 any_free = true;
@@ -111,15 +100,12 @@ pub fn find_deadlock(core: &NetCore) -> Vec<InputRef> {
         }
         // An active, attached, empty (or draining) bubble downstream is a
         // usable buffer.
-        if core
-            .bubble(neighbor)
-            .is_some_and(|b| b.attach == Some((port, pkt.vnet)) && b.slot.occupant().is_none())
-        {
-            any_free = true;
-        } else if let Some(&j) = index.get(&Buf::Bubble(neighbor)) {
-            // Occupied bubble: depend on it only if it is attached to our
-            // port/vnet (otherwise it is not a candidate at all).
-            if core.bubble(neighbor).expect("indexed").attach == Some((port, pkt.vnet)) {
+        if core.bubble_attach(neighbor) == Some((port, pkt.vnet)) {
+            if core.bubble_occupant(neighbor).is_none() {
+                any_free = true;
+            } else if let Some(&j) = index.get(&Buf::Bubble(neighbor)) {
+                // Occupied bubble: depend on it only because it is attached
+                // to our port/vnet (otherwise it is not a candidate at all).
                 rev[j].push(i as u32);
             }
         }
@@ -173,7 +159,7 @@ pub fn find_dependency_cycle(core: &NetCore) -> Option<Vec<InputRef>> {
         for port in DIRECTIONS {
             for vc in 0..cfg.vcs_per_port() as u8 {
                 let r = VcRef { router, port, vc };
-                if core.vc(r).occupant().is_some() {
+                if core.vc_occupant(r).is_some() {
                     index.insert(r, nodes.len());
                     nodes.push(r);
                 }
@@ -182,7 +168,7 @@ pub fn find_dependency_cycle(core: &NetCore) -> Option<Vec<InputRef>> {
     }
     let mut edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
     for (i, r) in nodes.iter().enumerate() {
-        let pkt = &core.vc(*r).occupant().expect("indexed").pkt;
+        let pkt = core.vc_occupant(*r).expect("indexed");
         let Some(dir) = pkt.desired_hop() else {
             continue;
         };
@@ -286,7 +272,6 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::packet::{NewPacket, Packet, PacketId};
-    use crate::vc::OccVc;
     use sb_routing::Route;
     use sb_topology::{Direction, Mesh, Topology};
 
@@ -303,7 +288,7 @@ mod tests {
             Route::new(route),
             0,
         );
-        core.vc_mut(vc).put(OccVc { pkt, ready_at: 0 }, 0);
+        core.place_packet(vc, pkt, 0);
     }
 
     fn vc(router: NodeId, port: Direction) -> VcRef {

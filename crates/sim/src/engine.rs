@@ -1,18 +1,20 @@
 //! The simulation engine: injection, switch allocation, movement, delivery.
 
+use crate::arena::PacketHandle;
 use crate::audit::{self, ForensicsReport, Violation};
 use crate::config::SimConfig;
 use crate::deadlock;
-use crate::netcore::{MoveEvent, NetCore, EJECT};
-use crate::packet::{Packet, PacketMode};
+use crate::netcore::{head_of, MoveEvent, NetCore, QueuedPacket, EJECT};
+use crate::packet::{NewPacket, Packet, PacketMode};
 use crate::plugin::{InputRef, OutPort, Plugin, SlotRef};
 use crate::traffic::TrafficSource;
-use crate::vc::{OccVc, VcRef};
+use crate::vc::VcRef;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sb_routing::{Route, RouteSource};
 use sb_topology::{Direction, NodeId, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Router + link pipeline depth: a granted head is switchable at the next
 /// router after 2 cycles (1-cycle router, 1-cycle link — Table II).
@@ -59,32 +61,6 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     /// The most recent forensics report (violation or oracle-detected
     /// deadlock), retrieved with [`Simulator::take_forensics`].
     last_forensics: Option<ForensicsReport>,
-}
-
-/// Per-cycle, per-router grant bookkeeping (one grant per input port).
-#[derive(Default)]
-struct Granted {
-    ports: [bool; 4],
-    bubble: bool,
-    local: bool,
-}
-
-impl Granted {
-    fn taken(&self, input: InputRef) -> bool {
-        match input {
-            InputRef::Vc(v) => self.ports[v.port.index()],
-            InputRef::Bubble(_) => self.bubble,
-            InputRef::Inject { .. } => self.local,
-        }
-    }
-
-    fn take(&mut self, input: InputRef) {
-        match input {
-            InputRef::Vc(v) => self.ports[v.port.index()] = true,
-            InputRef::Bubble(_) => self.bubble = true,
-            InputRef::Inject { .. } => self.local = true,
-        }
-    }
 }
 
 impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
@@ -185,23 +161,27 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// the allocator would grant right now — otherwise a wake was missed
     /// and the worklist has silently diverged from the reference sweep.
     fn audit_wakeup(&self, out: &mut Vec<Violation>) {
-        let mut cands = Vec::new();
+        let t = self.core.time();
         for router in self.core.topology().alive_nodes() {
             if self.core.is_active(router) {
                 continue;
             }
-            self.collect_candidates(router, &mut cands);
-            if cands.is_empty() {
+            let mut cand = [0u64; 5];
+            self.collect_candidate_masks(router, &mut cand);
+            if cand.iter().all(|&m| m == 0) {
                 continue;
             }
-            let granted = Granted::default();
+            let r5 = router.index() * 5;
             for out_idx in [EJECT, 0, 1, 2, 3] {
+                if cand[out_idx] == 0 {
+                    continue;
+                }
                 let o = if out_idx == EJECT {
                     OutPort::Eject
                 } else {
                     OutPort::Dir(Direction::from_index(out_idx))
                 };
-                if self.core.routers[router.index()].out_busy[out_idx] > self.core.time() {
+                if self.core.out_busy[r5 + out_idx] > t {
                     continue;
                 }
                 if let OutPort::Dir(d) = o {
@@ -209,7 +189,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                         continue;
                     }
                 }
-                if let Some((_, input, _)) = self.find_winner(router, o, &granted, &cands) {
+                if let Some((_, input, _)) =
+                    self.find_winner(router, o, cand[out_idx], self.core.rr[r5 + out_idx])
+                {
                     out.push(Violation {
                         class: audit::AuditClass::Wakeup,
                         router: Some(router),
@@ -347,23 +329,22 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     pub fn reconfigure(&mut self, topo: &Topology, planner: Box<dyn RouteSource>) {
         self.core.set_topology(topo);
         self.planner = planner;
+        self.traffic.on_topology_change();
         let mesh = topo.mesh();
-        let now = self.core.time();
         // 1. In-flight packets: VCs and bubbles.
         for r in 0..mesh.node_count() {
             let router = NodeId::from(r);
             let router_dead = !topo.router_alive(router);
             let refs: Vec<VcRef> = self.core.vc_refs(router).collect();
             for vref in refs {
-                let Some(occ) = self.core.vc(vref).occupant() else {
+                let Some(pkt) = self.core.vc_occupant(vref) else {
                     continue;
                 };
-                let pkt = &occ.pkt;
                 let (len, vnet, dst) = (pkt.len_flits as u64, pkt.vnet, pkt.dst);
                 let remaining = Route::new(pkt.route().directions()[pkt.hop_index()..].to_vec());
                 let lose = |core: &mut NetCore| {
-                    core.vc_mut(vref).take(now);
-                    *core.vc_mut(vref) = crate::vc::VcSlot::Free;
+                    let h = core.vc_clear(vref).expect("checked occupied");
+                    core.arena.remove(h);
                     let stats = core.stats_mut();
                     stats.lost_packets += 1;
                     stats.lost_flits += len;
@@ -374,12 +355,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 } else if remaining.trace(topo, router) != Some(dst) {
                     match self.planner.route(router, dst, &mut self.rng) {
                         Some(route) => {
-                            self.core
-                                .vc_mut(vref)
-                                .occupant_mut()
-                                .expect("checked occupied")
-                                .pkt
-                                .restamp(route, PacketMode::Normal);
+                            self.core.with_packet_mut(InputRef::Vc(vref), |p| {
+                                p.restamp(route, PacketMode::Normal)
+                            });
                         }
                         None => lose(&mut self.core),
                     }
@@ -387,43 +365,89 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             }
             // Bubble occupants at dead routers are lost with the router.
             if router_dead {
-                if let Some(occ) = self.core.bubble_take_occupant(router) {
+                if let Some((h, _ready)) = self.core.bubble_take_occupant(router) {
+                    let pkt = self.core.arena.remove(h);
                     let stats = self.core.stats_mut();
                     stats.lost_packets += 1;
-                    stats.lost_flits += occ.pkt.len_flits as u64;
-                    stats.lost_packets_vnet[occ.pkt.vnet as usize] += 1;
+                    stats.lost_flits += pkt.len_flits as u64;
+                    stats.lost_packets_vnet[pkt.vnet as usize] += 1;
                 }
             }
         }
-        // 2. Queued packets: re-route from the source.
+        // 2. Queued packets: re-route from the source. The materialized
+        // head is restamped in the arena; tail descriptors get a route
+        // checked and *stored* (consumed without an RNG draw when they
+        // surface), preserving the rule that reconfiguration drops every
+        // queued packet whose destination became unreachable — at
+        // drop-at-NI accounting — and loses the whole queue of a dead
+        // router.
         for r in 0..mesh.node_count() {
             let router = NodeId::from(r);
             let router_dead = !topo.router_alive(router);
-            for vnet in 0..self.core.config().vnets as usize {
-                let mut queue = std::mem::take(&mut self.core.inject[r][vnet]);
-                queue.retain_mut(|pkt| {
+            let vnets = self.core.config().vnets as usize;
+            for vnet in 0..vnets {
+                let qi = r * vnets + vnet;
+                let head = self.core.inject[qi].head;
+                if head.is_some() {
                     if router_dead {
+                        let pkt = self.core.arena.remove(head);
+                        self.core.inject[qi].head = PacketHandle::NONE;
                         let stats = self.core.stats_mut();
                         stats.lost_packets += 1;
                         stats.lost_flits += pkt.len_flits as u64;
                         stats.lost_packets_vnet[pkt.vnet as usize] += 1;
-                        return false;
-                    }
-                    match self.planner.route(router, pkt.dst, &mut self.rng) {
-                        Some(route) => {
-                            pkt.restamp(route, PacketMode::Normal);
-                            true
+                    } else {
+                        let dst = self.core.arena.get(head).dst;
+                        match self.planner.route(router, dst, &mut self.rng) {
+                            Some(route) => {
+                                self.core
+                                    .arena
+                                    .get_mut(head)
+                                    .restamp(route, PacketMode::Normal);
+                            }
+                            None => {
+                                let pkt = self.core.arena.remove(head);
+                                self.core.inject[qi].head = PacketHandle::NONE;
+                                let stats = self.core.stats_mut();
+                                stats.dropped_packets += 1;
+                                stats.dropped_flits += pkt.len_flits as u64;
+                                stats.dropped_packets_vnet[pkt.vnet as usize] += 1;
+                            }
                         }
-                        None => {
-                            let stats = self.core.stats_mut();
-                            stats.dropped_packets += 1;
-                            stats.dropped_flits += pkt.len_flits as u64;
-                            stats.dropped_packets_vnet[pkt.vnet as usize] += 1;
-                            false
+                    }
+                }
+                let mut tail = std::mem::take(&mut self.core.inject[qi].tail);
+                if router_dead {
+                    for e in tail.drain(..) {
+                        let stats = self.core.stats_mut();
+                        stats.lost_packets += 1;
+                        stats.lost_flits += e.len_flits as u64;
+                        stats.lost_packets_vnet[e.vnet as usize] += 1;
+                    }
+                } else {
+                    let mut kept = VecDeque::with_capacity(tail.len());
+                    for mut e in tail.drain(..) {
+                        match self.planner.route(router, e.dst, &mut self.rng) {
+                            Some(route) => {
+                                e.route = Some(Box::new(route));
+                                kept.push_back(e);
+                            }
+                            None => {
+                                let stats = self.core.stats_mut();
+                                stats.dropped_packets += 1;
+                                stats.dropped_flits += e.len_flits as u64;
+                                stats.dropped_packets_vnet[e.vnet as usize] += 1;
+                            }
                         }
                     }
-                });
-                self.core.inject[r][vnet] = queue;
+                    tail = kept;
+                }
+                self.core.inject[qi].tail = tail;
+                // A dropped head exposes the next survivor (its route was
+                // just stored, so this consumes no RNG).
+                if !router_dead && self.core.inject[qi].head.is_none() {
+                    self.materialize_head(router, vnet as u8);
+                }
             }
         }
     }
@@ -628,6 +652,31 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 stats.latency_sum += req.len_flits as u64;
                 continue;
             }
+            if !self.planner.routable(req.src, req.dst) {
+                // Unreachable destination: dropped at the NI (Sec. V-A).
+                let stats = self.core.stats_mut();
+                stats.dropped_packets += 1;
+                stats.dropped_flits += req.len_flits as u64;
+                stats.dropped_packets_vnet[req.vnet as usize] += 1;
+                continue;
+            }
+            let id = self.core.fresh_packet_id();
+            let qi = self.core.inject_idx(req.src, req.vnet);
+            if self.core.inject[qi].head.is_some() {
+                // Only the queue head competes for the crossbar, so an
+                // enqueue behind an existing head cannot create a new
+                // allocation candidate — park a plain descriptor (no
+                // route, no arena slot, no wake) until it surfaces.
+                self.core.inject[qi].tail.push_back(QueuedPacket {
+                    id,
+                    dst: req.dst,
+                    vnet: req.vnet,
+                    len_flits: req.len_flits,
+                    created_at: t,
+                    route: None,
+                });
+                continue;
+            }
             match self.planner.route(req.src, req.dst, &mut self.rng) {
                 Some(route) => {
                     debug_assert_eq!(
@@ -635,21 +684,15 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                         Some(req.dst),
                         "planner produced an invalid route"
                     );
-                    let id = self.core.fresh_packet_id();
-                    let pkt = Packet::new(id, req, route, t);
-                    let queue = &mut self.core.inject[req.src.index()][req.vnet as usize];
-                    // Only the queue head competes for the crossbar, so an
-                    // enqueue behind existing packets cannot create a new
-                    // allocation candidate — skip the wake unless this
-                    // packet just became the head.
-                    let became_head = queue.is_empty();
-                    queue.push_back(pkt);
-                    if became_head {
-                        self.core.touch(req.src);
-                    }
+                    let h = self.core.arena.insert(Packet::new(id, req, route, t));
+                    self.core.inject[qi].head = h;
+                    // This packet just became the head: it is a fresh
+                    // allocation candidate, so wake the source router.
+                    self.core.touch(req.src);
                 }
                 None => {
-                    // Unreachable destination: dropped at the NI (Sec. V-A).
+                    // `routable` said yes but the route draw failed —
+                    // treat it as the same NI drop.
                     let stats = self.core.stats_mut();
                     stats.dropped_packets += 1;
                     stats.dropped_flits += req.len_flits as u64;
@@ -676,89 +719,168 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// invisible in [`crate::Stats`]. Per-cycle cost therefore tracks the
     /// number of routers whose state *changed*, not occupancy: a saturated
     /// or deadlocked mesh where nothing moves costs almost nothing.
+    ///
+    /// Per-router work runs on the SoA tables: candidate collection walks
+    /// the router's occupancy word with trailing-zeros iteration (ascending
+    /// rr index = the reference loop order) into five per-output candidate
+    /// masks, and the round-robin winner search scans those masks as two
+    /// `u64` words split at the rr pointer.
     fn allocate(&mut self) {
         // Wheel wakes mature before the snapshot so a router scheduled for
         // this cycle is scanned this cycle.
         self.core.drain_wheel();
         let mut freed_bubbles = std::mem::take(&mut self.core.freed_scratch);
-        // Reused across routers and cycles: (rr index, input, desired out).
-        let mut candidates = std::mem::take(&mut self.core.cand_scratch);
-        let mut scan = std::mem::take(&mut self.core.scan_buf);
         if self.full_scan {
-            scan.clear();
             let n = self.core.topology().mesh().node_count();
-            scan.extend((0..n).map(NodeId::from));
+            for r in 0..n {
+                self.scan_router(NodeId::from(r), &mut freed_bubbles);
+            }
         } else {
-            self.core.fill_active(&mut scan);
-            self.core.clear_active();
+            let scan = self.core.begin_scan();
+            let mut cur = 0usize;
+            while let Some(router) = scan.first_set_from(cur) {
+                cur = router.index() + 1;
+                self.scan_router(router, &mut freed_bubbles);
+            }
+            self.core.end_scan(scan);
         }
-        for &router in &scan {
-            if !self.core.topology().router_alive(router) {
-                // Dead routers hold no packets (reconfigure clears them) and
-                // are woken again by the next reconfiguration.
-                continue;
-            }
-            let r = router.index();
-            let next_ready = self.collect_candidates(router, &mut candidates);
-            if candidates.is_empty() && next_ready.is_none() {
-                // Completely empty: cannot produce a candidate until some
-                // mutation touches it again.
-                continue;
-            }
-            let mut any_grant = false;
-            let mut granted = Granted::default();
-            // Ejection first, then the four directions.
-            for out_idx in [EJECT, 0, 1, 2, 3] {
-                let out = if out_idx == EJECT {
-                    OutPort::Eject
-                } else {
-                    OutPort::Dir(Direction::from_index(out_idx))
-                };
-                if self.core.routers[r].out_busy[out_idx] > self.core.time() {
-                    continue;
-                }
-                if let OutPort::Dir(d) = out {
-                    if !self.core.topology().link_alive(router, d) {
-                        continue;
-                    }
-                }
-                let Some((winner_idx, input, slot)) =
-                    self.find_winner(router, out, &granted, &candidates)
-                else {
-                    continue;
-                };
-                granted.take(input);
-                self.core.routers[r].rr[out_idx] = winner_idx as u32 + 1;
-                if let Some(freed) = self.commit(router, input, out, slot) {
-                    freed_bubbles.push(freed);
-                }
-                any_grant = true;
-                // The committed packet is gone; drop it from the list so a
-                // later output port cannot re-select it.
-                candidates.retain(|&(i, _, _)| i != winner_idx);
-            }
-            if self.full_scan {
-                continue;
-            }
-            if any_grant {
-                // Something moved; remaining or newly-ready heads may be
-                // switchable next cycle.
-                self.core.touch(router);
-            } else {
-                // Quiescent-blocked: sleep until the earliest timed event
-                // that could create a candidate, or until a mutation wake.
-                self.schedule_block_wake(router, &candidates, next_ready);
-            }
-        }
-        scan.clear();
-        self.core.scan_buf = scan;
-        candidates.clear();
-        self.core.cand_scratch = candidates;
         for &node in &freed_bubbles {
             self.plugin.on_bubble_freed(&mut self.core, node);
         }
         freed_bubbles.clear();
         self.core.freed_scratch = freed_bubbles;
+    }
+
+    /// Run the separable allocator at one router: collect candidate masks,
+    /// pick one winner per free output in `[eject, N, E, S, W]` order, and
+    /// commit the grants. Handles the worklist re-entry bookkeeping unless
+    /// the reference full sweep is active.
+    fn scan_router(&mut self, router: NodeId, freed_bubbles: &mut Vec<NodeId>) {
+        if !self.core.topology().router_alive(router) {
+            // Dead routers hold no packets (reconfigure clears them) and
+            // are woken again by the next reconfiguration.
+            return;
+        }
+        let t = self.core.time();
+        let mut cand = [0u64; 5];
+        let next_ready = self.collect_candidate_masks(router, &mut cand);
+        if cand.iter().all(|&m| m == 0) && next_ready.is_none() {
+            // Completely empty: cannot produce a candidate until some
+            // mutation touches it again.
+            return;
+        }
+        let r5 = router.index() * 5;
+        let mut any_grant = false;
+        // Input-side exclusion: rr indices whose input port already granted
+        // this cycle (one grant per input port per cycle).
+        let mut blocked: u64 = 0;
+        // Ejection first, then the four directions.
+        for out_idx in [EJECT, 0, 1, 2, 3] {
+            let mask = cand[out_idx] & !blocked;
+            if mask == 0 {
+                continue;
+            }
+            if self.core.out_busy[r5 + out_idx] > t {
+                continue;
+            }
+            let out = if out_idx == EJECT {
+                OutPort::Eject
+            } else {
+                OutPort::Dir(Direction::from_index(out_idx))
+            };
+            if let OutPort::Dir(d) = out {
+                if !self.core.topology().link_alive(router, d) {
+                    continue;
+                }
+            }
+            let Some((winner, input, slot)) =
+                self.find_winner(router, out, mask, self.core.rr[r5 + out_idx])
+            else {
+                continue;
+            };
+            blocked |= self.input_block_mask(winner);
+            // The committed packet is gone; a later output port must not
+            // re-select it.
+            for m in cand.iter_mut() {
+                *m &= !(1u64 << winner);
+            }
+            self.core.rr[r5 + out_idx] = winner as u32 + 1;
+            if let Some(freed) = self.commit(router, input, out, slot) {
+                freed_bubbles.push(freed);
+            }
+            any_grant = true;
+        }
+        if self.full_scan {
+            return;
+        }
+        if any_grant {
+            // Something moved; remaining or newly-ready heads may be
+            // switchable next cycle.
+            self.core.touch(router);
+        } else {
+            // Quiescent-blocked: sleep until the earliest timed event
+            // that could create a candidate, or until a mutation wake.
+            self.schedule_block_wake(router, &cand, next_ready);
+        }
+    }
+
+    /// The rr indices excluded from further grants this cycle once index
+    /// `i` won: all VCs of the same input port, the bubble, or every
+    /// injection vnet (one local injection per cycle).
+    fn input_block_mask(&self, i: usize) -> u64 {
+        let cfg = self.core.config();
+        let vcs = cfg.vcs_per_port();
+        if i < 4 * vcs {
+            let port = i / vcs;
+            ((1u64 << vcs) - 1) << (port * vcs)
+        } else if i == 4 * vcs {
+            1u64 << i
+        } else {
+            ((1u64 << cfg.vnets) - 1) << (4 * vcs + 1)
+        }
+    }
+
+    /// Build `router`'s per-output candidate masks: bit `i` of `cand[out]`
+    /// is set iff the buffer at rr index `i` holds a switchable head that
+    /// wants output `out`. Walks the occupancy word (trailing-zeros, so
+    /// ascending rr order) using the cached head bytes — the packet itself
+    /// is only dereferenced for injection-queue heads. Returns the earliest
+    /// `ready_at` among occupants still in the hop pipeline, if any — the
+    /// allocator's next timed wake for an otherwise-idle router.
+    fn collect_candidate_masks(&self, router: NodeId, cand: &mut [u64; 5]) -> Option<u64> {
+        let core = &self.core;
+        let cfg: SimConfig = core.config();
+        let vcs = cfg.vcs_per_port();
+        let t = core.time();
+        let r = router.index();
+        let base = core.vc_base(router);
+        let mut next_ready: Option<u64> = None;
+        let mut mask = core.occ_mask[r];
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let ready = core.vc_ready[base + i];
+            if ready <= t {
+                cand[core.vc_head[base + i] as usize] |= 1u64 << i;
+            } else if next_ready.is_none_or(|w| ready < w) {
+                next_ready = Some(ready);
+            }
+        }
+        if core.bub_occ[r].is_some() {
+            let ready = core.bub_ready[r];
+            if ready <= t {
+                cand[core.bub_head[r] as usize] |= 1u64 << (4 * vcs);
+            } else if next_ready.is_none_or(|w| ready < w) {
+                next_ready = Some(ready);
+            }
+        }
+        for vnet in 0..cfg.vnets as usize {
+            let h = core.inject[r * cfg.vnets as usize + vnet].head;
+            if h.is_some() {
+                cand[head_of(core.arena.get(h)) as usize] |= 1u64 << (4 * vcs + 1 + vnet);
+            }
+        }
+        next_ready
     }
 
     /// A scanned router granted nothing this cycle. Schedule its next wake
@@ -771,36 +893,24 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// mutation time instead. If no timed event exists the router is fully
     /// quiescent (e.g. inside a deadlock) and sleeps until a mutation
     /// arrives.
-    fn schedule_block_wake(
-        &mut self,
-        router: NodeId,
-        candidates: &[(usize, InputRef, OutPort)],
-        next_ready: Option<u64>,
-    ) {
+    fn schedule_block_wake(&mut self, router: NodeId, cand: &[u64; 5], next_ready: Option<u64>) {
         let t = self.core.time();
+        let vcs = self.core.config().vcs_per_port();
         let mut wake = next_ready;
         let note = |wake: &mut Option<u64>, at: u64| {
             if at > t && wake.is_none_or(|w| at < w) {
                 *wake = Some(at);
             }
         };
-        let mut seen = [false; 5];
-        for &(_, _, out) in candidates {
-            let out_idx = match out {
-                OutPort::Dir(d) => d.index(),
-                OutPort::Eject => EJECT,
-            };
-            if seen[out_idx] {
+        for (out_idx, &want) in cand.iter().enumerate() {
+            if want == 0 {
                 continue;
             }
-            seen[out_idx] = true;
-            note(
-                &mut wake,
-                self.core.routers[router.index()].out_busy[out_idx],
-            );
-            let OutPort::Dir(d) = out else {
+            note(&mut wake, self.core.out_busy[router.index() * 5 + out_idx]);
+            if out_idx == EJECT {
                 continue;
-            };
+            }
+            let d = Direction::from_index(out_idx);
             if !self.core.topology().link_alive(router, d) {
                 continue; // revived only by reconfiguration, which wakes all
             }
@@ -812,16 +922,18 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             // conservative superset of any plugin's pick_slot policy) bounds
             // the earliest possible unblock. Occupied slots free through a
             // grant at `nb`, whose buffer take wakes this feeder.
-            let nstate = &self.core.routers[nb.index()];
-            for slot in &nstate.vcs[d.opposite().index()] {
-                if let crate::vc::VcSlot::Draining { until } = *slot {
-                    note(&mut wake, until);
+            let pbase = self.core.vc_base(nb) + d.opposite().index() * vcs;
+            for flat in pbase..pbase + vcs {
+                if self.core.vc_occ[flat].is_none() && self.core.vc_drain[flat] != 0 {
+                    note(&mut wake, self.core.vc_drain[flat]);
                 }
             }
-            if let Some(b) = &nstate.bubble {
-                if let crate::vc::VcSlot::Draining { until } = b.slot {
-                    note(&mut wake, until);
-                }
+            let nbr = nb.index();
+            if self.core.bub_exists[nbr]
+                && self.core.bub_occ[nbr].is_none()
+                && self.core.bub_drain[nbr] != 0
+            {
+                note(&mut wake, self.core.bub_drain[nbr]);
             }
         }
         if let Some(at) = wake {
@@ -829,111 +941,68 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         }
     }
 
-    /// Gather all switchable head packets of `router` with their desired
-    /// outputs, tagged with their round-robin index (ascending). Returns
-    /// the earliest `ready_at` among occupants still in the hop pipeline,
-    /// if any — the allocator's next timed wake for an otherwise-idle
-    /// router.
-    fn collect_candidates(
-        &self,
-        router: NodeId,
-        out: &mut Vec<(usize, InputRef, OutPort)>,
-    ) -> Option<u64> {
-        out.clear();
-        let core = &self.core;
-        let cfg: SimConfig = core.config();
-        let vcs = cfg.vcs_per_port();
-        let t = core.time();
-        let state = &core.routers[router.index()];
-        let mut next_ready: Option<u64> = None;
-        let desired_of = |pkt: &Packet| match pkt.desired_hop() {
-            Some(d) => OutPort::Dir(d),
-            None => OutPort::Eject,
-        };
-        for port in 0..4usize {
-            for (vc, slot) in state.vcs[port].iter().enumerate() {
-                if let Some(occ) = slot.occupant() {
-                    if occ.ready_at <= t {
-                        out.push((
-                            port * vcs + vc,
-                            InputRef::Vc(VcRef {
-                                router,
-                                port: Direction::from_index(port),
-                                vc: vc as u8,
-                            }),
-                            desired_of(&occ.pkt),
-                        ));
-                    } else if next_ready.is_none_or(|w| occ.ready_at < w) {
-                        next_ready = Some(occ.ready_at);
-                    }
-                }
+    /// Reconstruct the [`InputRef`] behind rr index `i` at `router`.
+    fn input_of(&self, router: NodeId, i: usize, vcs: usize) -> InputRef {
+        if i < 4 * vcs {
+            InputRef::Vc(VcRef {
+                router,
+                port: Direction::from_index(i / vcs),
+                vc: (i % vcs) as u8,
+            })
+        } else if i == 4 * vcs {
+            InputRef::Bubble(router)
+        } else {
+            InputRef::Inject {
+                node: router,
+                vnet: (i - 4 * vcs - 1) as u8,
             }
         }
-        if let Some(b) = &state.bubble {
-            if let Some(occ) = b.slot.occupant() {
-                if occ.ready_at <= t {
-                    out.push((4 * vcs, InputRef::Bubble(router), desired_of(&occ.pkt)));
-                } else if next_ready.is_none_or(|w| occ.ready_at < w) {
-                    next_ready = Some(occ.ready_at);
-                }
-            }
-        }
-        for vnet in 0..cfg.vnets {
-            if let Some(pkt) = core.inject[router.index()][vnet as usize].front() {
-                out.push((
-                    4 * vcs + 1 + vnet as usize,
-                    InputRef::Inject { node: router, vnet },
-                    desired_of(pkt),
-                ));
-            }
-        }
-        next_ready
     }
 
-    /// Scan the candidates of `router` wanting `out` in round-robin order
-    /// and return the first eligible `(index, input, slot)`.
+    /// Scan `mask` (the candidates of `router` wanting `out`, minus inputs
+    /// already granted) in round-robin order from `rr_ptr` and return the
+    /// first eligible `(index, input, slot)`.
+    ///
+    /// Round-robin order — ascending `(i - start) mod total` — is the bits
+    /// `>= start` in ascending order followed by the bits `< start`: two
+    /// word scans with trailing-zeros iteration, no sort, no allocation.
     fn find_winner(
         &self,
         router: NodeId,
         out: OutPort,
-        granted: &Granted,
-        candidates: &[(usize, InputRef, OutPort)],
+        mask: u64,
+        rr_ptr: u32,
     ) -> Option<(usize, InputRef, Option<SlotRef>)> {
         let core = &self.core;
         let cfg: SimConfig = core.config();
-        let total = 4 * cfg.vcs_per_port() + 1 + cfg.vnets as usize;
-        let out_idx = match out {
-            OutPort::Dir(d) => d.index(),
-            OutPort::Eject => EJECT,
-        };
-        let start = core.routers[router.index()].rr[out_idx] as usize % total;
-        // `candidates` is ascending in rr index by construction, so
-        // round-robin order (ascending `(idx - start) mod total`) is the
-        // indices `>= start` in list order followed by those `< start` —
-        // two passes, no sort, no allocation.
-        debug_assert!(candidates.windows(2).all(|w| w[0].0 < w[1].0));
-        let upper = candidates.iter().filter(|&&(i, _, _)| i >= start);
-        let lower = candidates.iter().filter(|&&(i, _, _)| i < start);
-        for &(i, input, want) in upper.chain(lower) {
-            if want != out || granted.taken(input) {
-                continue;
-            }
-            let pkt = core.packet_at(input).expect("candidate has a packet");
-            if !self.plugin.allow_grant(core, router, input, out, pkt) {
-                continue;
-            }
-            match out {
-                OutPort::Eject => return Some((i, input, None)),
-                OutPort::Dir(d) => {
-                    let neighbor = core
-                        .topology()
-                        .mesh()
-                        .neighbor(router, d)
-                        .expect("alive link has endpoint");
-                    if let Some(slot) = self.plugin.pick_slot(core, neighbor, d.opposite(), pkt) {
-                        // Validate the plugin's choice.
-                        debug_assert!(self.slot_is_free(neighbor, d.opposite(), pkt, slot));
-                        return Some((i, input, Some(slot)));
+        let vcs = cfg.vcs_per_port();
+        let total = 4 * vcs + 1 + cfg.vnets as usize;
+        let start = rr_ptr as usize % total; // start <= 63: the shift is safe
+        let above = !0u64 << start;
+        for word in [mask & above, mask & !above] {
+            let mut w = word;
+            while w != 0 {
+                let i = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let input = self.input_of(router, i, vcs);
+                let pkt = core.packet_at(input).expect("candidate has a packet");
+                if !self.plugin.allow_grant(core, router, input, out, pkt) {
+                    continue;
+                }
+                match out {
+                    OutPort::Eject => return Some((i, input, None)),
+                    OutPort::Dir(d) => {
+                        let neighbor = core
+                            .topology()
+                            .mesh()
+                            .neighbor(router, d)
+                            .expect("alive link has endpoint");
+                        if let Some(slot) = self.plugin.pick_slot(core, neighbor, d.opposite(), pkt)
+                        {
+                            // Validate the plugin's choice.
+                            debug_assert!(self.slot_is_free(neighbor, d.opposite(), pkt, slot));
+                            return Some((i, input, Some(slot)));
+                        }
                     }
                 }
             }
@@ -942,10 +1011,62 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     }
 
     fn slot_is_free(&self, router: NodeId, port: Direction, pkt: &Packet, slot: SlotRef) -> bool {
-        let t = self.core.time();
         match slot {
-            SlotRef::Regular(vc) => self.core.vc(VcRef { router, port, vc }).is_free(t),
+            SlotRef::Regular(vc) => self.core.vc_is_free(VcRef { router, port, vc }),
             SlotRef::Bubble => self.core.bubble_available(router, port, pkt.vnet),
+        }
+    }
+
+    /// Promote the next tail descriptor (if any) of `(node, vnet)`'s
+    /// injection queue to a materialized head: stamp its route and insert
+    /// it into the arena. A descriptor whose destination has become
+    /// unroutable since it was offered (it passed the `routable` check at
+    /// the NI) is dropped with the same drop-at-NI accounting, and the next
+    /// one is tried, until one routes or the tail empties. Reconfiguration
+    /// pre-stamps routes into surviving descriptors; those are consumed
+    /// without touching the RNG.
+    fn materialize_head(&mut self, node: NodeId, vnet: u8) {
+        let qi = self.core.inject_idx(node, vnet);
+        debug_assert!(self.core.inject[qi].head.is_none());
+        while let Some(entry) = self.core.inject[qi].tail.pop_front() {
+            let QueuedPacket {
+                id,
+                dst,
+                vnet: pkt_vnet,
+                len_flits,
+                created_at,
+                route,
+            } = entry;
+            let route = route
+                .map(|boxed| *boxed)
+                .or_else(|| self.planner.route(node, dst, &mut self.rng));
+            match route {
+                Some(route) => {
+                    debug_assert_eq!(
+                        route.trace(self.core.topology(), node),
+                        Some(dst),
+                        "planner produced an invalid route"
+                    );
+                    let req = NewPacket {
+                        src: node,
+                        dst,
+                        vnet: pkt_vnet,
+                        len_flits,
+                    };
+                    let h = self
+                        .core
+                        .arena
+                        .insert(Packet::new(id, req, route, created_at));
+                    self.core.inject[qi].head = h;
+                    return;
+                }
+                None => {
+                    let stats = self.core.stats_mut();
+                    stats.dropped_packets += 1;
+                    stats.dropped_flits += len_flits as u64;
+                    stats.dropped_packets_vnet[pkt_vnet as usize] += 1;
+                }
+            }
         }
     }
 
@@ -960,53 +1081,40 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     ) -> Option<NodeId> {
         let t = self.core.time();
         let mut freed_bubble = None;
-        // 1. Remove the packet from its input buffer.
-        let mut pkt = match input {
-            InputRef::Vc(v) => {
-                let occ = self.core.vc_mut(v).take(t); // drain time set below
-                occ.pkt
-            }
+        // 1. Remove the packet's handle from its input buffer (VC and
+        // bubble takes leave the slot draining for `len` cycles).
+        let h = match input {
+            InputRef::Vc(v) => self.core.vc_take(v),
             InputRef::Bubble(b) => {
-                let occ = self.core.routers[b.index()]
-                    .bubble
-                    .as_mut()
-                    .expect("bubble input exists")
-                    .slot
-                    .take(t);
                 freed_bubble = Some(b);
-                occ.pkt
+                self.core.bubble_take(b)
             }
             InputRef::Inject { node, vnet } => {
-                let mut p = self.core.inject[node.index()][vnet as usize]
-                    .pop_front()
-                    .expect("winner had a queued packet");
-                p.injected_at = t;
+                let qi = self.core.inject_idx(node, vnet);
+                let q = &mut self.core.inject[qi];
+                let h = q.head;
+                assert!(h.is_some(), "winner had a queued packet");
+                q.head = PacketHandle::NONE;
+                self.core.arena.get_mut(h).injected_at = t;
                 self.core.stats_mut().injected_packets += 1;
-                p
+                // The next descriptor (if any) surfaces: route it and give
+                // it an arena slot now that it can compete for the crossbar.
+                self.materialize_head(node, vnet);
+                h
             }
         };
-        let len = pkt.len_flits as u64;
-        // Fix the drain time now that we know the length.
-        match input {
-            InputRef::Vc(v) => {
-                *self.core.vc_mut(v) = crate::vc::VcSlot::Draining { until: t + len }
-            }
-            InputRef::Bubble(b) => {
-                self.core.routers[b.index()]
-                    .bubble
-                    .as_mut()
-                    .expect("bubble input exists")
-                    .slot = crate::vc::VcSlot::Draining { until: t + len };
-            }
-            InputRef::Inject { .. } => {}
-        }
-        let vnet = pkt.vnet;
-        let id = pkt.id;
+        let (len, vnet, id) = {
+            let pkt = self.core.arena.get(h);
+            (pkt.len_flits as u64, pkt.vnet, pkt.id)
+        };
         // 2. Deliver or forward.
         match out {
             OutPort::Eject => {
-                self.core.routers[router.index()].out_busy[EJECT] = t + len;
+                self.core.out_busy[router.index() * 5 + EJECT] = t + len;
                 self.core.record_delivery(router);
+                // The handle dies here: delivery is one of the two arena
+                // removal points (the other is reconfiguration loss).
+                let pkt = self.core.arena.remove(h);
                 let stats = self.core.stats_mut();
                 stats.delivered_packets += 1;
                 stats.delivered_flits += len;
@@ -1018,39 +1126,31 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                 self.traffic.on_delivered(&pkt, t + len);
             }
             OutPort::Dir(d) => {
-                pkt.advance_hop();
+                self.core.arena.get_mut(h).advance_hop();
                 let neighbor = self
                     .core
                     .topology()
                     .mesh()
                     .neighbor(router, d)
                     .expect("alive link");
-                let occ = OccVc {
-                    pkt,
-                    ready_at: t + HOP_LATENCY,
-                };
                 match slot.expect("forward grants carry a slot") {
                     SlotRef::Regular(vc) => {
-                        self.core
-                            .vc_mut(VcRef {
+                        self.core.vc_put(
+                            VcRef {
                                 router: neighbor,
                                 port: d.opposite(),
                                 vc,
-                            })
-                            .put(occ, t);
+                            },
+                            h,
+                            t + HOP_LATENCY,
+                        );
                     }
                     SlotRef::Bubble => {
                         debug_assert!(self.core.bubble_available(neighbor, d.opposite(), vnet));
-                        self.core.routers[neighbor.index()]
-                            .bubble
-                            .as_mut()
-                            .expect("bubble slot exists")
-                            .slot
-                            .put(occ, t);
-                        self.core.touch(neighbor);
+                        self.core.bubble_put(neighbor, h, t + HOP_LATENCY);
                     }
                 }
-                self.core.routers[router.index()].out_busy[d.index()] = t + len;
+                self.core.out_busy[router.index() * 5 + d.index()] = t + len;
                 let stats = self.core.stats_mut();
                 stats.data_link_flits += len;
                 stats.data_router_flits += len;

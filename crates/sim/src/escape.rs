@@ -16,18 +16,25 @@
 
 use crate::netcore::NetCore;
 use crate::packet::{PacketId, PacketMode};
-use crate::plugin::{Plugin, SlotRef};
+use crate::plugin::{InputRef, Plugin, SlotRef};
 use crate::vc::VcRef;
 use sb_routing::{RouteSource, UpDownRouting};
 use sb_topology::{Direction, NodeId, Topology, DIRECTIONS};
-use std::collections::HashMap;
 
 /// The escape-VC recovery plugin.
 #[derive(Debug)]
 pub struct EscapeVcPlugin {
     updown: UpDownRouting,
     tdd: u64,
-    stalls: HashMap<VcRef, (PacketId, u64)>,
+    /// Per-VC stall clocks, indexed by flat vc id ([`NetCore::flat_vc`]) and
+    /// sized lazily on first use. `Some((pkt, count))` means the slot's head
+    /// has been switchable-but-stalled for `count` cycles. A flat table
+    /// beats the old `HashMap<VcRef, _>` on the hot sweep: no hashing, and
+    /// clearing a lapsed entry is one store.
+    stalls: Vec<Option<(PacketId, u64)>>,
+    /// Number of `Some` entries in `stalls`, so `next_timer` can bail out
+    /// without scanning the table when nothing is stalled (the common case).
+    tracked: usize,
     escapes: u64,
     /// Cycle of the last `after_cycle` call. Stall counters advance by the
     /// elapsed time since then, so skipped (leaped-over) cycles — during
@@ -45,7 +52,8 @@ impl EscapeVcPlugin {
         EscapeVcPlugin {
             updown: UpDownRouting::new(topo),
             tdd: tdd.max(1),
-            stalls: HashMap::new(),
+            stalls: Vec::new(),
+            tracked: 0,
             escapes: 0,
             last_tick: None,
             rng: rand::rngs::StdRng::seed_from_u64(0xE5CA),
@@ -68,6 +76,12 @@ impl EscapeVcPlugin {
         let cfg = core.config();
         vc % cfg.vcs_per_vnet == cfg.vcs_per_vnet - 1
     }
+
+    fn clear_stall(&mut self, i: usize) {
+        if self.stalls[i].take().is_some() {
+            self.tracked -= 1;
+        }
+    }
 }
 
 impl Plugin for EscapeVcPlugin {
@@ -78,33 +92,29 @@ impl Plugin for EscapeVcPlugin {
         port: Direction,
         pkt: &crate::packet::Packet,
     ) -> Option<SlotRef> {
-        let now = core.time();
-        let slots = core.vcs_at(router, port);
         let escape = Self::escape_vc(core, pkt.vnet);
         match pkt.mode {
             PacketMode::Normal => core
                 .config()
                 .vcs_of_vnet(pkt.vnet)
-                .find(|&i| i != escape && slots[i as usize].is_free(now))
+                .find(|&vc| vc != escape && core.vc_is_free(VcRef { router, port, vc }))
                 .map(SlotRef::Regular),
-            PacketMode::Escape => slots[escape as usize]
-                .is_free(now)
+            PacketMode::Escape => core
+                .vc_is_free(VcRef {
+                    router,
+                    port,
+                    vc: escape,
+                })
                 .then_some(SlotRef::Regular(escape)),
         }
     }
 
     fn after_cycle(&mut self, core: &mut NetCore) {
         // Advance stall counters; escalate to the escape network on timeout.
-        let refs: Vec<VcRef> = core
-            .topology()
-            .alive_nodes()
-            .flat_map(|router| {
-                let vcs = core.config().vcs_per_port() as u8;
-                DIRECTIONS
-                    .into_iter()
-                    .flat_map(move |port| (0..vcs).map(move |vc| VcRef { router, port, vc }))
-            })
-            .collect();
+        let vcs = core.config().vcs_per_port() as u8;
+        let n = core.topology().mesh().node_count();
+        self.stalls.resize(n * 4 * vcs as usize, None);
+        let alive: Vec<NodeId> = core.topology().alive_nodes().collect();
         let now = core.time();
         // Cycles elapsed since the previous executed tick. Under the step
         // clock this is always 1; under the leap clock it covers the
@@ -116,47 +126,49 @@ impl Plugin for EscapeVcPlugin {
             None => 1,
         };
         self.last_tick = Some(now);
-        for r in refs {
-            let Some(occ) = core.vc(r).occupant() else {
-                self.stalls.remove(&r);
-                continue;
-            };
-            if occ.ready_at > now || occ.pkt.desired_hop().is_none() {
-                // Still arriving, or waiting only on the ejection port.
-                self.stalls.remove(&r);
-                continue;
-            }
-            let id = occ.pkt.id;
-            // A fresh (or re-owned) entry starts its stall clock at this
-            // very tick — entry creation always happens on the first cycle
-            // the condition holds, which is never inside a leaped gap. An
-            // existing entry accounts every cycle since the last tick.
-            let entry = match self.stalls.entry(r) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let v = e.into_mut();
-                    if v.0 == id {
-                        v.1 += dt;
-                    } else {
-                        *v = (id, 1);
+        for router in alive {
+            for port in DIRECTIONS {
+                for vc in 0..vcs {
+                    let r = VcRef { router, port, vc };
+                    let i = core.flat_vc(r);
+                    let Some(pkt) = core.vc_occupant(r) else {
+                        self.clear_stall(i);
+                        continue;
+                    };
+                    if core.vc_ready_at(r).expect("occupied") > now || pkt.desired_hop().is_none() {
+                        // Still arriving, or waiting only on the ejection
+                        // port.
+                        self.clear_stall(i);
+                        continue;
                     }
-                    v
-                }
-                std::collections::hash_map::Entry::Vacant(e) => e.insert((id, 1)),
-            };
-            if entry.1 >= self.tdd {
-                entry.1 = 0;
-                let dst = occ.pkt.dst;
-                let already_escaped = occ.pkt.mode == PacketMode::Escape;
-                if already_escaped {
-                    continue;
-                }
-                if let Some(route) = self.updown.route(r.router, dst, &mut self.rng) {
-                    core.vc_mut(r)
-                        .occupant_mut()
-                        .expect("checked occupied")
-                        .pkt
-                        .restamp(route, PacketMode::Escape);
-                    self.escapes += 1;
+                    let (id, dst, mode) = (pkt.id, pkt.dst, pkt.mode);
+                    // A fresh (or re-owned) entry starts its stall clock at
+                    // this very tick — entry creation always happens on the
+                    // first cycle the condition holds, which is never inside
+                    // a leaped gap. An existing entry accounts every cycle
+                    // since the last tick.
+                    let entry = &mut self.stalls[i];
+                    match entry {
+                        Some(v) if v.0 == id => v.1 += dt,
+                        Some(v) => *v = (id, 1),
+                        None => {
+                            *entry = Some((id, 1));
+                            self.tracked += 1;
+                        }
+                    }
+                    let count = &mut self.stalls[i].as_mut().expect("just set").1;
+                    if *count >= self.tdd {
+                        *count = 0;
+                        if mode == PacketMode::Escape {
+                            continue;
+                        }
+                        if let Some(route) = self.updown.route(router, dst, &mut self.rng) {
+                            core.with_packet_mut(InputRef::Vc(r), |p| {
+                                p.restamp(route, PacketMode::Escape)
+                            });
+                            self.escapes += 1;
+                        }
+                    }
                 }
             }
         }
@@ -169,9 +181,12 @@ impl Plugin for EscapeVcPlugin {
         // `(now - 1) + (tdd - count)`. Entries whose condition lapsed are
         // pruned at the next tick anyway; their stale bound only wakes the
         // engine early, never late.
+        if self.tracked == 0 {
+            return None;
+        }
         let now = core.time();
         let mut best: Option<u64> = None;
-        for &(_, count) in self.stalls.values() {
+        for &(_, count) in self.stalls.iter().flatten() {
             let at = (now + self.tdd.saturating_sub(count))
                 .saturating_sub(1)
                 .max(now);
@@ -218,11 +233,16 @@ mod tests {
         for _ in 0..500 {
             sim.tick();
             let core = sim.core();
+            let esc = EscapeVcPlugin::escape_vc(core, 0);
             for router in core.topology().alive_nodes() {
                 for port in DIRECTIONS {
-                    let esc = EscapeVcPlugin::escape_vc(core, 0);
                     assert!(
-                        core.vcs_at(router, port)[esc as usize].occupant().is_none(),
+                        core.vc_occupant(VcRef {
+                            router,
+                            port,
+                            vc: esc
+                        })
+                        .is_none(),
                         "escape VC occupied without any timeout"
                     );
                 }

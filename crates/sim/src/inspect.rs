@@ -2,7 +2,7 @@
 //! experiment logs.
 
 use crate::netcore::NetCore;
-use sb_topology::{NodeId, DIRECTIONS};
+use sb_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// A summary snapshot of the network at one cycle.
@@ -27,18 +27,14 @@ impl Snapshot {
         let mut occupancy = Vec::with_capacity(mesh.node_count());
         let mut backlogged = 0usize;
         for n in mesh.nodes() {
-            let occ: usize = DIRECTIONS
-                .into_iter()
-                .map(|p| {
-                    core.vcs_at(n, p)
-                        .iter()
-                        .filter(|s| s.occupant().is_some())
-                        .count()
-                })
-                .sum();
-            let bubble = usize::from(core.bubble(n).is_some_and(|b| b.slot.occupant().is_some()));
+            let occ = core.occupied_vcs(n) as usize;
+            let bubble = usize::from(core.bubble_occupant(n).is_some());
             occupancy.push((occ + bubble).min(u8::MAX as usize) as u8);
-            if core.inject[n.index()].iter().any(|q| !q.is_empty()) {
+            let vnets = core.config().vnets as usize;
+            if core.inject[n.index() * vnets..][..vnets]
+                .iter()
+                .any(|q| !q.is_empty())
+            {
                 backlogged += 1;
             }
         }
@@ -115,7 +111,7 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::packet::{NewPacket, Packet, PacketId};
-    use crate::vc::{OccVc, VcRef};
+    use crate::vc::VcRef;
     use sb_routing::Route;
     use sb_topology::{Direction, Mesh, Topology};
 
@@ -125,26 +121,23 @@ mod tests {
         let topo = Topology::full(mesh);
         let mut core = NetCore::new(&topo, SimConfig::tiny(), &[]);
         let n = mesh.node_at(1, 1);
-        core.vc_mut(VcRef {
-            router: n,
-            port: Direction::North,
-            vc: 0,
-        })
-        .put(
-            OccVc {
-                pkt: Packet::new(
-                    PacketId(1),
-                    NewPacket {
-                        src: n,
-                        dst: mesh.node_at(0, 0),
-                        vnet: 0,
-                        len_flits: 1,
-                    },
-                    Route::new(vec![Direction::West]),
-                    0,
-                ),
-                ready_at: 0,
+        core.place_packet(
+            VcRef {
+                router: n,
+                port: Direction::North,
+                vc: 0,
             },
+            Packet::new(
+                PacketId(1),
+                NewPacket {
+                    src: n,
+                    dst: mesh.node_at(0, 0),
+                    vnet: 0,
+                    len_flits: 1,
+                },
+                Route::new(vec![Direction::West]),
+                0,
+            ),
             0,
         );
         let snap = Snapshot::capture(&core);

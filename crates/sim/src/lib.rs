@@ -41,6 +41,7 @@
 //! assert!(sim.core().stats().delivered_packets > 0);
 //! ```
 
+pub mod arena;
 pub mod audit;
 pub mod config;
 pub mod deadlock;
@@ -55,6 +56,7 @@ pub mod trace;
 pub mod traffic;
 pub mod vc;
 
+pub use arena::{PacketArena, PacketHandle};
 pub use audit::{AuditClass, ForensicsReport, Violation};
 pub use config::SimConfig;
 pub use deadlock::{
@@ -63,7 +65,7 @@ pub use deadlock::{
 pub use engine::{ClockMode, Simulator};
 pub use escape::EscapeVcPlugin;
 pub use inspect::Snapshot;
-pub use netcore::{BubbleState, MoveEvent, NetCore, Resident};
+pub use netcore::{MoveEvent, NetCore, Resident};
 pub use packet::{NewPacket, Packet, PacketId, PacketMode};
 pub use plugin::{InputRef, NullPlugin, OutPort, Plugin, SlotRef};
 pub use stats::{SpecialClass, Stats, MAX_VNETS};
@@ -72,4 +74,4 @@ pub use traffic::{
     BitComplementTraffic, NoTraffic, ScriptedTraffic, TrafficSource, UniformTraffic, CTRL_FLITS,
     DATA_FLITS,
 };
-pub use vc::{OccVc, VcRef, VcSlot};
+pub use vc::VcRef;

@@ -3,17 +3,50 @@
 //! `NetCore` is deliberately separated from the [`crate::Simulator`] engine
 //! so that [`crate::Plugin`] implementations can receive `&mut NetCore`
 //! without aliasing the engine's own state.
+//!
+//! # Data layout (the SoA refactor)
+//!
+//! All hot allocation state lives in flat struct-of-arrays tables instead of
+//! per-router nested structs:
+//!
+//! * Regular VC slots are four parallel arrays (`vc_occ`, `vc_ready`,
+//!   `vc_drain`, `vc_head`) indexed by the **flat vc id**
+//!   `(router * 4 + port) * vcs_per_port + vc` ([`NetCore::flat_vc`]).
+//!   A slot's occupant is a 4-byte [`PacketHandle`] into the shared
+//!   [`PacketArena`] (`NONE` = empty); `vc_drain == 0` means fully free,
+//!   `vc_drain == until` means the previous occupant's tail streams out
+//!   until cycle `until` (every real drain deadline is `>= 1` because
+//!   packets are at least one flit long). `vc_head` caches the occupant's
+//!   desired output (0–3 = [`Direction::index`], 4 = ejection) so the
+//!   allocator never chases the packet pointer during candidate collection.
+//! * `occ_mask` holds one `u64` per router with bit `port * vcs + vc` set
+//!   iff that VC is occupied — the word the allocator scans with
+//!   trailing-zeros iteration (ascending order = the reference loop order).
+//! * `out_busy`/`rr` are flat `router * 5 + out` arrays (4 directions +
+//!   ejection).
+//! * Bubble state is a set of parallel per-router arrays mirroring the VC
+//!   fields plus the activation attach point.
+//!
+//! The arbitration index space per router (round-robin order) is unchanged
+//! from the AoS layout: VC `port * vcs + vc`, bubble `4 * vcs`, injection
+//! queue of vnet `v` at `4 * vcs + 1 + v` — and must fit in one 64-bit
+//! candidate mask, which [`NetCore::new`] asserts.
 
+use crate::arena::{PacketArena, PacketHandle};
 use crate::config::SimConfig;
 use crate::packet::{Packet, PacketId};
 use crate::plugin::{InputRef, OutPort};
 use crate::stats::{Stats, MAX_VNETS};
-use crate::vc::{VcRef, VcSlot};
+use crate::vc::VcRef;
+use sb_routing::Route;
 use sb_topology::{Direction, NodeId, NodeSet, Topology, DIRECTIONS};
 use std::collections::VecDeque;
 
 /// Index of the ejection "link" in per-output busy arrays.
 pub(crate) const EJECT: usize = 4;
+
+/// The `vc_head`/`bub_head` byte meaning "wants ejection".
+pub(crate) const HEAD_EJECT: u8 = EJECT as u8;
 
 /// Slots in the time-indexed wake wheel. Wake delays are clamped to
 /// `WHEEL_SLOTS - 1` cycles, so a slot is always drained before it can be
@@ -22,14 +55,12 @@ pub(crate) const EJECT: usize = 4;
 /// re-schedules its next wake.
 const WHEEL_SLOTS: usize = 64;
 
-/// The static-bubble buffer of a router: one extra packet-sized VC that a
-/// plugin can activate, attached to a chosen (input port, vnet).
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct BubbleState {
-    /// When active, the (input port, vnet) the bubble serves.
-    pub attach: Option<(Direction, u8)>,
-    /// The buffer itself.
-    pub slot: VcSlot,
+/// The desired-output head byte of `pkt` (0–3 = direction index, 4 = eject).
+pub(crate) fn head_of(pkt: &Packet) -> u8 {
+    match pkt.desired_hop() {
+        Some(d) => d.index() as u8,
+        None => HEAD_EJECT,
+    }
 }
 
 /// One committed packet movement, recorded for plugins to inspect in
@@ -67,17 +98,62 @@ pub struct Resident {
     pub queued_packets_vnet: [u64; MAX_VNETS],
 }
 
+/// An offered packet waiting in an injection-queue tail: a plain
+/// descriptor, not yet routed and not yet in the arena. Route stamping,
+/// id-to-`Packet` materialization and arena insertion are deferred until
+/// the descriptor reaches the head of its queue — under saturation a
+/// source queues far more packets than it ever injects, and the deferred
+/// work dominates the per-offer cost.
 #[derive(Debug, Clone)]
-pub(crate) struct RouterState {
-    /// Input VCs per mesh port (indexed by `Direction::index()`), each of
-    /// length `cfg.vcs_per_port()`.
-    pub(crate) vcs: [Vec<VcSlot>; 4],
-    /// The optional static bubble.
-    pub(crate) bubble: Option<BubbleState>,
-    /// Output link busy-until times: 4 directions + ejection.
-    pub(crate) out_busy: [u64; 5],
-    /// Round-robin pointers per output.
-    pub(crate) rr: [u32; 5],
+pub(crate) struct QueuedPacket {
+    /// Packet id, assigned in offer order at the NI.
+    pub(crate) id: PacketId,
+    /// Destination router (the source is the queue's own node).
+    pub(crate) dst: NodeId,
+    /// Virtual network.
+    pub(crate) vnet: u8,
+    /// Length in flits.
+    pub(crate) len_flits: u16,
+    /// Offer cycle (becomes the packet's `created_at` on materialization).
+    pub(crate) created_at: u64,
+    /// A route pre-stamped by reconfiguration, consumed on materialization.
+    /// Boxed because it is `None` for every descriptor outside the rare
+    /// reconfigure window, and a saturated source accumulates millions of
+    /// descriptors — the indirection keeps the struct at 32 bytes.
+    pub(crate) route: Option<Box<Route>>,
+}
+
+/// One per-node, per-vnet injection queue. Only the **head** is
+/// materialized — routed, arena-resident, and competing for the crossbar;
+/// the tail holds [`QueuedPacket`] descriptors in offer order. Invariant:
+/// a non-empty tail implies a materialized head.
+#[derive(Debug, Clone)]
+pub(crate) struct InjectQueue {
+    /// Arena handle of the head packet (`NONE` = queue empty).
+    pub(crate) head: PacketHandle,
+    /// Descriptors behind the head, in offer order.
+    pub(crate) tail: VecDeque<QueuedPacket>,
+}
+
+impl Default for InjectQueue {
+    fn default() -> Self {
+        InjectQueue {
+            head: PacketHandle::NONE,
+            tail: VecDeque::new(),
+        }
+    }
+}
+
+impl InjectQueue {
+    /// Total packets waiting (materialized head + descriptor tail).
+    pub(crate) fn len(&self) -> usize {
+        usize::from(self.head.is_some()) + self.tail.len()
+    }
+
+    /// No head and no tail.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.head.is_none() && self.tail.is_empty()
+    }
 }
 
 /// The complete mutable state of the simulated network.
@@ -86,9 +162,41 @@ pub struct NetCore {
     topo: Topology,
     cfg: SimConfig,
     time: u64,
-    pub(crate) routers: Vec<RouterState>,
-    /// Per-node, per-vnet injection queues.
-    pub(crate) inject: Vec<Vec<VecDeque<Packet>>>,
+    /// Cached `cfg.vcs_per_port()`.
+    vcs: usize,
+    /// Flat VC occupant handles, indexed by [`NetCore::flat_vc`].
+    pub(crate) vc_occ: Vec<PacketHandle>,
+    /// First cycle the occupant's head is switchable (valid iff occupied).
+    pub(crate) vc_ready: Vec<u64>,
+    /// Credit-return deadline of the previous occupant; `0` = fully free.
+    /// Meaningful only while unoccupied (a put resets it to `0`).
+    pub(crate) vc_drain: Vec<u64>,
+    /// Cached desired output of the occupant (valid iff occupied).
+    pub(crate) vc_head: Vec<u8>,
+    /// Per-router VC occupancy mask over rr indices `0..4 * vcs`.
+    pub(crate) occ_mask: Vec<u64>,
+    /// Output link busy-until times, flat `router * 5 + out`.
+    pub(crate) out_busy: Vec<u64>,
+    /// Round-robin pointers per output, flat `router * 5 + out`.
+    pub(crate) rr: Vec<u32>,
+    /// Does the router have a static-bubble buffer at all?
+    pub(crate) bub_exists: Vec<bool>,
+    /// When active, the (input port, vnet) the bubble serves.
+    pub(crate) bub_attach: Vec<Option<(Direction, u8)>>,
+    /// Bubble occupant handle (`NONE` = empty).
+    pub(crate) bub_occ: Vec<PacketHandle>,
+    /// Bubble occupant readiness (valid iff occupied).
+    pub(crate) bub_ready: Vec<u64>,
+    /// Bubble credit-return deadline (`0` = fully free).
+    pub(crate) bub_drain: Vec<u64>,
+    /// Cached desired output of the bubble occupant (valid iff occupied).
+    pub(crate) bub_head: Vec<u8>,
+    /// Every live packet, owned exactly once; all buffers hold handles.
+    pub(crate) arena: PacketArena,
+    /// Injection queues, flat `router * vnets + vnet` (head materialized in
+    /// the arena, tail kept as plain descriptors). See
+    /// [`NetCore::inject_idx`].
+    pub(crate) inject: Vec<InjectQueue>,
     stats: Stats,
     /// Packets delivered per destination router (measurement window).
     delivered_per_node: Vec<u64>,
@@ -106,8 +214,10 @@ pub struct NetCore {
     /// effects, so scanning only this set in ascending id order is
     /// behaviourally identical to scanning `0..n`.
     active: NodeSet,
-    /// Scratch for the allocator's per-cycle active-set snapshot.
-    pub(crate) scan_buf: Vec<NodeId>,
+    /// Double-buffer for the allocator's per-cycle snapshot of `active`
+    /// (swapped in [`NetCore::begin_scan`], returned in
+    /// [`NetCore::end_scan`]).
+    scan_set: NodeSet,
     /// Time-indexed wake wheel: slot `t % WHEEL_SLOTS` holds routers to
     /// re-enter the scan set at cycle `t` (out-busy expiries, credit
     /// returns of draining buffers, occupants finishing their hop
@@ -116,8 +226,6 @@ pub struct NetCore {
     wheel: Vec<Vec<NodeId>>,
     /// Scratch for the allocator's freed-bubble list (reused every cycle).
     pub(crate) freed_scratch: Vec<NodeId>,
-    /// Scratch for the allocator's per-router candidate list.
-    pub(crate) cand_scratch: Vec<(usize, InputRef, OutPort)>,
 }
 
 impl NetCore {
@@ -130,22 +238,35 @@ impl NetCore {
         );
         let n = topo.mesh().node_count();
         let vcs = cfg.vcs_per_port();
-        let routers = (0..n)
-            .map(|i| RouterState {
-                vcs: std::array::from_fn(|_| vec![VcSlot::Free; vcs]),
-                bubble: bubble_routers
-                    .contains(&NodeId::from(i))
-                    .then(BubbleState::default),
-                out_busy: [0; 5],
-                rr: [0; 5],
-            })
-            .collect();
+        assert!(
+            4 * vcs + 1 + cfg.vnets as usize <= 64,
+            "per-router arbitration space (4 ports x {vcs} VCs + bubble + {} vnets) \
+             must fit one u64 candidate mask",
+            cfg.vnets
+        );
+        let slots = n * 4 * vcs;
         NetCore {
             topo: topo.clone(),
             cfg,
             time: 0,
-            routers,
-            inject: vec![vec![VecDeque::new(); cfg.vnets as usize]; n],
+            vcs,
+            vc_occ: vec![PacketHandle::NONE; slots],
+            vc_ready: vec![0; slots],
+            vc_drain: vec![0; slots],
+            vc_head: vec![0; slots],
+            occ_mask: vec![0; n],
+            out_busy: vec![0; n * 5],
+            rr: vec![0; n * 5],
+            bub_exists: (0..n)
+                .map(|i| bubble_routers.contains(&NodeId::from(i)))
+                .collect(),
+            bub_attach: vec![None; n],
+            bub_occ: vec![PacketHandle::NONE; n],
+            bub_ready: vec![0; n],
+            bub_drain: vec![0; n],
+            bub_head: vec![0; n],
+            arena: PacketArena::with_capacity(4 * n),
+            inject: vec![InjectQueue::default(); n * cfg.vnets as usize],
             stats: Stats::new(),
             delivered_per_node: vec![0; n],
             moved: Vec::new(),
@@ -154,10 +275,9 @@ impl NetCore {
             // Start with everything active; the allocator prunes the empty
             // routers on its first pass.
             active: NodeSet::full(n),
-            scan_buf: Vec::with_capacity(n),
+            scan_set: NodeSet::new(n),
             wheel: vec![Vec::new(); WHEEL_SLOTS],
             freed_scratch: Vec::new(),
-            cand_scratch: Vec::with_capacity(32),
         }
     }
 
@@ -259,23 +379,42 @@ impl NetCore {
     /// breakdowns. Used by the measurement-window carry and the conservation
     /// audit.
     pub fn resident(&self) -> Resident {
-        let mut res = Resident::default();
-        for r in &self.routers {
-            for occ in r.vcs.iter().flatten().filter_map(VcSlot::occupant) {
+        fn count(res: &mut Resident, pkt: &Packet, queued: bool) {
+            if queued {
+                res.queued_packets += 1;
+                res.queued_flits += pkt.len_flits as u64;
+                res.queued_packets_vnet[pkt.vnet as usize] += 1;
+            } else {
                 res.packets += 1;
-                res.flits += occ.pkt.len_flits as u64;
-                res.packets_vnet[occ.pkt.vnet as usize] += 1;
-            }
-            if let Some(occ) = r.bubble.as_ref().and_then(|b| b.slot.occupant()) {
-                res.packets += 1;
-                res.flits += occ.pkt.len_flits as u64;
-                res.packets_vnet[occ.pkt.vnet as usize] += 1;
+                res.flits += pkt.len_flits as u64;
+                res.packets_vnet[pkt.vnet as usize] += 1;
             }
         }
-        for pkt in self.inject.iter().flatten().flatten() {
-            res.queued_packets += 1;
-            res.queued_flits += pkt.len_flits as u64;
-            res.queued_packets_vnet[pkt.vnet as usize] += 1;
+        let mut res = Resident::default();
+        let n = self.topo.mesh().node_count();
+        for r in 0..n {
+            let base = r * 4 * self.vcs;
+            let mut mask = self.occ_mask[r];
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                count(&mut res, self.arena.get(self.vc_occ[base + i]), false);
+            }
+            if self.bub_occ[r].is_some() {
+                count(&mut res, self.arena.get(self.bub_occ[r]), false);
+            }
+        }
+        for q in &self.inject {
+            if q.head.is_some() {
+                count(&mut res, self.arena.get(q.head), true);
+            }
+            // Tail descriptors are not arena-resident; census them from
+            // their own fields.
+            for e in &q.tail {
+                res.queued_packets += 1;
+                res.queued_flits += e.len_flits as u64;
+                res.queued_packets_vnet[e.vnet as usize] += 1;
+            }
         }
         res
     }
@@ -354,16 +493,26 @@ impl NetCore {
         self.active.fill();
     }
 
-    /// Empty the scan set (the allocator consumes its snapshot each cycle).
-    pub(crate) fn clear_active(&mut self) {
-        self.active.clear();
-    }
-
     /// Empty the scan set from outside the crate. **Test hook only**: this
     /// deliberately violates the wakeup invariant so audit tests can seed a
     /// "quiescent-blocked router with a grantable candidate" violation.
     pub fn clear_active_for_test(&mut self) {
         self.active.clear();
+    }
+
+    /// Take the per-cycle snapshot of the active set for the allocator to
+    /// walk (word-scan via [`NodeSet::first_set_from`]), leaving a cleared
+    /// set to collect this cycle's touches. Pair with [`NetCore::end_scan`].
+    pub(crate) fn begin_scan(&mut self) -> NodeSet {
+        std::mem::swap(&mut self.active, &mut self.scan_set);
+        std::mem::replace(&mut self.scan_set, NodeSet::new(0))
+    }
+
+    /// Return the (consumed) snapshot taken by [`NetCore::begin_scan`] so
+    /// its storage is reused next cycle.
+    pub(crate) fn end_scan(&mut self, mut scan: NodeSet) {
+        scan.clear();
+        self.scan_set = scan;
     }
 
     /// Wake the router that feeds packets into `(router, port)`: the buffer
@@ -386,11 +535,6 @@ impl NetCore {
         self.active.len()
     }
 
-    /// Snapshot the active set into `out` in ascending id order.
-    pub(crate) fn fill_active(&self, out: &mut Vec<NodeId>) {
-        self.active.collect_into(out);
-    }
-
     /// Movements committed in the current cycle so far (complete after
     /// allocation; intended for [`crate::Plugin::after_cycle`]).
     pub fn moves(&self) -> &[MoveEvent] {
@@ -398,27 +542,146 @@ impl NetCore {
     }
 
     // ------------------------------------------------------------------
-    // VC accessors
+    // VC accessors (flat SoA tables)
     // ------------------------------------------------------------------
 
-    /// The slot at `vc`.
-    pub fn vc(&self, vc: VcRef) -> &VcSlot {
-        &self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
+    /// The flat index of `vc` into the SoA VC tables:
+    /// `(router * 4 + port) * vcs_per_port + vc`.
+    pub fn flat_vc(&self, vc: VcRef) -> usize {
+        (vc.router.index() * 4 + vc.port.index()) * self.vcs + vc.vc as usize
     }
 
-    /// Mutable slot at `vc`. The router re-enters the allocator's scan set
-    /// (the caller may be about to install an occupant), and so does the
-    /// neighbour feeding this port (the caller may be about to free the
-    /// slot, which is a new credit upstream).
-    pub fn vc_mut(&mut self, vc: VcRef) -> &mut VcSlot {
+    /// First flat index of `router`'s VC block (`4 * vcs_per_port` slots).
+    pub(crate) fn vc_base(&self, router: NodeId) -> usize {
+        router.index() * 4 * self.vcs
+    }
+
+    /// The packet occupying `vc`, if any.
+    pub fn vc_occupant(&self, vc: VcRef) -> Option<&Packet> {
+        let h = self.vc_occ[self.flat_vc(vc)];
+        h.is_some().then(|| self.arena.get(h))
+    }
+
+    /// The occupant handle of `vc` ([`PacketHandle::NONE`] if empty).
+    pub fn vc_handle(&self, vc: VcRef) -> PacketHandle {
+        self.vc_occ[self.flat_vc(vc)]
+    }
+
+    /// The occupant's first switchable cycle, if `vc` is occupied.
+    pub fn vc_ready_at(&self, vc: VcRef) -> Option<u64> {
+        let flat = self.flat_vc(vc);
+        self.vc_occ[flat].is_some().then(|| self.vc_ready[flat])
+    }
+
+    /// Is `vc` allocatable right now (empty and done draining)?
+    pub fn vc_is_free(&self, vc: VcRef) -> bool {
+        let flat = self.flat_vc(vc);
+        self.vc_occ[flat].is_none() && self.vc_drain[flat] <= self.time
+    }
+
+    /// The credit-return deadline of `vc`, if it is unoccupied and a
+    /// previous occupant's tail is (or was) still streaming out. A deadline
+    /// `<= now` has already expired: the slot is allocatable.
+    pub fn vc_draining_until(&self, vc: VcRef) -> Option<u64> {
+        let flat = self.flat_vc(vc);
+        (self.vc_occ[flat].is_none() && self.vc_drain[flat] != 0).then(|| self.vc_drain[flat])
+    }
+
+    /// Install the packet behind `h` into `vc`, switchable from `ready_at`.
+    /// The router re-enters the allocator's scan set and so does the
+    /// neighbour feeding this port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not free at the current cycle.
+    pub fn vc_put(&mut self, vc: VcRef, h: PacketHandle, ready_at: u64) {
+        let flat = self.flat_vc(vc);
+        assert!(
+            self.vc_occ[flat].is_none() && self.vc_drain[flat] <= self.time,
+            "put() into non-free slot {vc:?}"
+        );
+        self.vc_occ[flat] = h;
+        self.vc_ready[flat] = ready_at;
+        self.vc_drain[flat] = 0;
+        self.vc_head[flat] = head_of(self.arena.get(h));
+        self.occ_mask[vc.router.index()] |= 1 << (flat - self.vc_base(vc.router));
         self.touch(vc.router);
         self.wake_feeder(vc.router, vc.port);
-        &mut self.routers[vc.router.index()].vcs[vc.port.index()][vc.vc as usize]
     }
 
-    /// All VC slots at `(router, port)`.
-    pub fn vcs_at(&self, router: NodeId, port: Direction) -> &[VcSlot] {
-        &self.routers[router.index()].vcs[port.index()]
+    /// Insert `pkt` into the arena and install it into `vc` (a test/tool
+    /// convenience over [`NetCore::vc_put`]). Returns the new handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not free at the current cycle.
+    pub fn place_packet(&mut self, vc: VcRef, pkt: Packet, ready_at: u64) -> PacketHandle {
+        let h = self.arena.insert(pkt);
+        self.vc_put(vc, h, ready_at);
+        h
+    }
+
+    /// Remove the occupant of `vc` for a grant, leaving the slot draining
+    /// until the packet's tail has streamed out (`now + len_flits`). The
+    /// router re-enters the scan set and the feeding neighbour is woken
+    /// (the drain deadline is a future credit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is unoccupied.
+    pub fn vc_take(&mut self, vc: VcRef) -> PacketHandle {
+        let flat = self.flat_vc(vc);
+        let h = self.vc_occ[flat];
+        assert!(h.is_some(), "take() on non-occupied slot {vc:?}");
+        let len = self.arena.get(h).len_flits as u64;
+        self.vc_occ[flat] = PacketHandle::NONE;
+        self.vc_drain[flat] = self.time + len;
+        self.occ_mask[vc.router.index()] &= !(1 << (flat - self.vc_base(vc.router)));
+        self.touch(vc.router);
+        self.wake_feeder(vc.router, vc.port);
+        h
+    }
+
+    /// Force `vc` fully free (no drain), returning the evicted occupant's
+    /// handle if there was one. Used when a packet is *lost* (its buffer
+    /// never streamed a tail) and by tests that move occupants around.
+    pub fn vc_clear(&mut self, vc: VcRef) -> Option<PacketHandle> {
+        let flat = self.flat_vc(vc);
+        let h = self.vc_occ[flat];
+        self.vc_occ[flat] = PacketHandle::NONE;
+        self.vc_drain[flat] = 0;
+        self.occ_mask[vc.router.index()] &= !(1 << (flat - self.vc_base(vc.router)));
+        self.touch(vc.router);
+        self.wake_feeder(vc.router, vc.port);
+        h.is_some().then_some(h)
+    }
+
+    /// Remove the occupant of `vc` from the network entirely (no draining
+    /// credit), returning the owned packet. The packet leaves the arena,
+    /// so conservation counters must be adjusted by the caller if stats
+    /// are being audited. Used by tests that stage and then unstage
+    /// packets by hand.
+    pub fn remove_packet(&mut self, vc: VcRef) -> Option<Packet> {
+        let h = self.vc_clear(vc)?;
+        Some(self.arena.remove(h))
+    }
+
+    /// Overwrite the drain deadline of an **unoccupied** `vc`. Test hook
+    /// only: audit tests use it to seed a never-expiring drain violation
+    /// (`until = 0` restores the slot to fully free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is occupied.
+    pub fn set_drain_for_test(&mut self, vc: VcRef, until: u64) {
+        let flat = self.flat_vc(vc);
+        assert!(
+            self.vc_occ[flat].is_none(),
+            "set_drain_for_test on occupied slot {vc:?}"
+        );
+        self.vc_drain[flat] = until;
+        self.touch(vc.router);
+        self.wake_feeder(vc.router, vc.port);
     }
 
     /// Iterate over every VC reference of `router`'s mesh ports.
@@ -431,32 +694,33 @@ impl NetCore {
 
     /// First free regular VC of `vnet` at `(router, port)`, if any.
     pub fn first_free_regular_vc(&self, router: NodeId, port: Direction, vnet: u8) -> Option<u8> {
-        let now = self.time;
-        let slots = self.vcs_at(router, port);
-        self.cfg
-            .vcs_of_vnet(vnet)
-            .find(|&i| slots[i as usize].is_free(now))
+        let base = self.vc_base(router) + port.index() * self.vcs;
+        self.cfg.vcs_of_vnet(vnet).find(|&i| {
+            let flat = base + i as usize;
+            self.vc_occ[flat].is_none() && self.vc_drain[flat] <= self.time
+        })
     }
 
     /// Are **all** VCs of `vnet` at `(router, port)` occupied? (The probe
     /// fork condition of Section IV-A.)
     pub fn all_vcs_occupied(&self, router: NodeId, port: Direction, vnet: u8) -> bool {
-        let slots = self.vcs_at(router, port);
-        self.cfg
-            .vcs_of_vnet(vnet)
-            .all(|i| slots[i as usize].occupant().is_some())
+        let range = self.cfg.vcs_of_vnet(vnet);
+        let lo = port.index() * self.vcs + range.start as usize;
+        let need = ((1u64 << (range.end - range.start)) - 1) << lo;
+        self.occ_mask[router.index()] & need == need
     }
 
     /// The set of outputs wanted by head packets of `vnet` at
     /// `(router, port)` whose heads are switchable.
     pub fn wanted_outputs(&self, router: NodeId, port: Direction, vnet: u8) -> Vec<OutPort> {
-        let slots = self.vcs_at(router, port);
+        let base = self.vc_base(router) + port.index() * self.vcs;
         let mut out = Vec::new();
         for i in self.cfg.vcs_of_vnet(vnet) {
-            if let Some(occ) = slots[i as usize].occupant() {
-                let want = match occ.pkt.desired_hop() {
-                    Some(d) => OutPort::Dir(d),
-                    None => OutPort::Eject,
+            let flat = base + i as usize;
+            if self.vc_occ[flat].is_some() {
+                let want = match self.vc_head[flat] {
+                    HEAD_EJECT => OutPort::Eject,
+                    d => OutPort::Dir(Direction::from_index(d as usize)),
                 };
                 if !out.contains(&want) {
                     out.push(want);
@@ -468,35 +732,41 @@ impl NetCore {
 
     /// Does any mesh-port VC of `router` hold a packet?
     pub fn any_occupied(&self, router: NodeId) -> bool {
-        DIRECTIONS.into_iter().any(|p| {
-            self.vcs_at(router, p)
-                .iter()
-                .any(|s| s.occupant().is_some())
-        })
+        self.occ_mask[router.index()] != 0
+    }
+
+    /// Number of occupied mesh-port VCs at `router`.
+    pub fn occupied_vcs(&self, router: NodeId) -> u32 {
+        self.occ_mask[router.index()].count_ones()
     }
 
     /// Number of packets resident in VCs and bubbles (not source queues).
     pub fn in_flight(&self) -> usize {
-        self.routers
+        self.occ_mask
             .iter()
-            .map(|r| {
-                r.vcs
-                    .iter()
-                    .flatten()
-                    .filter(|s| s.occupant().is_some())
-                    .count()
-                    + usize::from(
-                        r.bubble
-                            .as_ref()
-                            .is_some_and(|b| b.slot.occupant().is_some()),
-                    )
-            })
-            .sum()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            + self.bub_occ.iter().filter(|h| h.is_some()).count()
     }
 
-    /// Number of packets waiting in source queues.
+    /// Number of packets waiting in source queues (materialized heads plus
+    /// unmaterialized tail descriptors).
     pub fn queued(&self) -> usize {
-        self.inject.iter().flatten().map(VecDeque::len).sum()
+        self.inject.iter().map(InjectQueue::len).sum()
+    }
+
+    /// Number of injection-queue heads currently materialized in the arena.
+    /// Queue tails are plain descriptors and hold no arena slot, so the
+    /// arena census is `in-network packets + queued_heads()`, not
+    /// `+ queued()`.
+    pub fn queued_heads(&self) -> usize {
+        self.inject.iter().filter(|q| q.head.is_some()).count()
+    }
+
+    /// Flat index of node `node`'s vnet-`vnet` injection queue (stride
+    /// `vnets`, mirroring the flat VC id scheme).
+    pub(crate) fn inject_idx(&self, node: NodeId, vnet: u8) -> usize {
+        node.index() * self.cfg.vnets as usize + vnet as usize
     }
 
     // ------------------------------------------------------------------
@@ -505,12 +775,37 @@ impl NetCore {
 
     /// Does `router` have a static-bubble buffer?
     pub fn has_bubble(&self, router: NodeId) -> bool {
-        self.routers[router.index()].bubble.is_some()
+        self.bub_exists[router.index()]
     }
 
-    /// The bubble state of `router`, if it has one.
-    pub fn bubble(&self, router: NodeId) -> Option<&BubbleState> {
-        self.routers[router.index()].bubble.as_ref()
+    /// The (input port, vnet) the bubble at `router` is attached to, if the
+    /// router has a bubble and it is active.
+    pub fn bubble_attach(&self, router: NodeId) -> Option<(Direction, u8)> {
+        self.bub_attach[router.index()]
+    }
+
+    /// The packet occupying the bubble at `router`, if any.
+    pub fn bubble_occupant(&self, router: NodeId) -> Option<&Packet> {
+        let h = self.bub_occ[router.index()];
+        h.is_some().then(|| self.arena.get(h))
+    }
+
+    /// The bubble occupant handle ([`PacketHandle::NONE`] if empty).
+    pub fn bubble_handle(&self, router: NodeId) -> PacketHandle {
+        self.bub_occ[router.index()]
+    }
+
+    /// The bubble occupant's first switchable cycle, if occupied.
+    pub fn bubble_ready_at(&self, router: NodeId) -> Option<u64> {
+        let r = router.index();
+        self.bub_occ[r].is_some().then(|| self.bub_ready[r])
+    }
+
+    /// The bubble's credit-return deadline, if it is unoccupied and a
+    /// previous occupant's tail is (or was) still streaming out.
+    pub fn bubble_draining_until(&self, router: NodeId) -> Option<u64> {
+        let r = router.index();
+        (self.bub_occ[r].is_none() && self.bub_drain[r] != 0).then(|| self.bub_drain[r])
     }
 
     /// Activate the bubble at `router`, attaching it to `(port, vnet)`.
@@ -519,15 +814,13 @@ impl NetCore {
     ///
     /// Panics if the router has no bubble or the bubble is occupied.
     pub fn bubble_activate(&mut self, router: NodeId, port: Direction, vnet: u8) {
-        let b = self.routers[router.index()]
-            .bubble
-            .as_mut()
-            .expect("router has no static bubble");
+        let r = router.index();
+        assert!(self.bub_exists[r], "router {router} has no static bubble");
         assert!(
-            b.slot.occupant().is_none(),
+            self.bub_occ[r].is_none(),
             "activating an occupied bubble at {router}"
         );
-        b.attach = Some((port, vnet));
+        self.bub_attach[r] = Some((port, vnet));
         self.touch(router);
         // The feeder of the attach port gained a slot it can send into.
         self.wake_feeder(router, port);
@@ -540,11 +833,9 @@ impl NetCore {
     ///
     /// Panics if the router has no bubble.
     pub fn bubble_deactivate(&mut self, router: NodeId) {
-        let b = self.routers[router.index()]
-            .bubble
-            .as_mut()
-            .expect("router has no static bubble");
-        let old = b.attach.take();
+        let r = router.index();
+        assert!(self.bub_exists[r], "router {router} has no static bubble");
+        let old = self.bub_attach[r].take();
         // Conservative wakes: eligibility of the bubble as an input (this
         // router) and as a destination slot (the old attach feeder) changed.
         self.touch(router);
@@ -553,31 +844,121 @@ impl NetCore {
         }
     }
 
-    /// Remove and return the packet occupying the bubble at `router`, if
-    /// any, leaving the bubble slot free (used for the paper's intra-router
-    /// bubble→VC relocation, footnote 6).
-    pub fn bubble_take_occupant(&mut self, router: NodeId) -> Option<crate::vc::OccVc> {
+    /// Remove and return the bubble occupant's `(handle, ready_at)` at
+    /// `router`, if any, leaving the bubble slot fully free (used for the
+    /// paper's intra-router bubble→VC relocation, footnote 6).
+    pub fn bubble_take_occupant(&mut self, router: NodeId) -> Option<(PacketHandle, u64)> {
         self.touch(router);
-        let t = self.time;
-        let b = self.routers[router.index()].bubble.as_mut()?;
-        b.slot.occupant()?;
-        let occ = b.slot.take(t);
-        b.slot = VcSlot::Free;
-        let attach = b.attach;
+        let r = router.index();
+        let h = self.bub_occ[r];
+        if h.is_none() {
+            return None;
+        }
+        let ready = self.bub_ready[r];
+        self.bub_occ[r] = PacketHandle::NONE;
+        self.bub_drain[r] = 0;
         // The freed (and still attached) bubble is a new credit upstream.
-        if let Some((port, _)) = attach {
+        if let Some((port, _)) = self.bub_attach[r] {
             self.wake_feeder(router, port);
         }
-        Some(occ)
+        Some((h, ready))
     }
 
     /// Is the bubble at `router` active for `(port, vnet)` and free?
     pub fn bubble_available(&self, router: NodeId, port: Direction, vnet: u8) -> bool {
-        let now = self.time;
-        self.routers[router.index()]
-            .bubble
-            .as_ref()
-            .is_some_and(|b| b.attach == Some((port, vnet)) && b.slot.is_free(now))
+        let r = router.index();
+        self.bub_attach[r] == Some((port, vnet))
+            && self.bub_occ[r].is_none()
+            && self.bub_drain[r] <= self.time
+    }
+
+    /// Install the packet behind `h` into the bubble at `router`. Engine
+    /// path: the receiving router is touched (its new occupant may be
+    /// switchable soon) but its feeder is not — an occupied bubble is not a
+    /// credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bubble is not free at the current cycle.
+    pub(crate) fn bubble_put(&mut self, router: NodeId, h: PacketHandle, ready_at: u64) {
+        let r = router.index();
+        assert!(
+            self.bub_occ[r].is_none() && self.bub_drain[r] <= self.time,
+            "put() into non-free bubble at {router}"
+        );
+        self.bub_occ[r] = h;
+        self.bub_ready[r] = ready_at;
+        self.bub_drain[r] = 0;
+        self.bub_head[r] = head_of(self.arena.get(h));
+        self.touch(router);
+    }
+
+    /// Remove the bubble occupant for a grant, leaving the slot draining
+    /// until `now + len_flits`. No wakes: the grant's commit path touches
+    /// the granting router itself, and the freed-bubble plugin callback
+    /// handles upstream credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bubble is unoccupied.
+    pub(crate) fn bubble_take(&mut self, router: NodeId) -> PacketHandle {
+        let r = router.index();
+        let h = self.bub_occ[r];
+        assert!(h.is_some(), "take() on empty bubble at {router}");
+        let len = self.arena.get(h).len_flits as u64;
+        self.bub_occ[r] = PacketHandle::NONE;
+        self.bub_drain[r] = self.time + len;
+        h
+    }
+
+    // ------------------------------------------------------------------
+    // Arena access
+    // ------------------------------------------------------------------
+
+    /// The packet arena (every live packet, addressed by handle).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Mutable access to a resident packet (used by the escape-VC plugin to
+    /// re-stamp routes); the cached desired-output head is refreshed after
+    /// the closure runs. Returns `None` (without running `f`) if the buffer
+    /// is empty or `input` is an injection queue. The holding router
+    /// re-enters the allocator's scan set.
+    pub fn with_packet_mut<R>(
+        &mut self,
+        input: InputRef,
+        f: impl FnOnce(&mut Packet) -> R,
+    ) -> Option<R> {
+        match input {
+            InputRef::Vc(v) => {
+                let flat = self.flat_vc(v);
+                let h = self.vc_occ[flat];
+                if h.is_none() {
+                    return None;
+                }
+                let out = f(self.arena.get_mut(h));
+                self.vc_head[flat] = head_of(self.arena.get(h));
+                self.touch(v.router);
+                self.wake_feeder(v.router, v.port);
+                Some(out)
+            }
+            InputRef::Bubble(b) => {
+                let r = b.index();
+                let h = self.bub_occ[r];
+                if h.is_none() {
+                    return None;
+                }
+                let out = f(self.arena.get_mut(h));
+                self.bub_head[r] = head_of(self.arena.get(h));
+                self.touch(b);
+                Some(out)
+            }
+            InputRef::Inject { node, .. } => {
+                self.touch(node);
+                None
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -602,35 +983,12 @@ impl NetCore {
 
     /// The packet held at `input`, if any and if its head is switchable.
     pub fn packet_at(&self, input: InputRef) -> Option<&Packet> {
-        match input {
-            InputRef::Vc(v) => self.vc(v).occupant().map(|o| &o.pkt),
-            InputRef::Bubble(r) => self.routers[r.index()]
-                .bubble
-                .as_ref()
-                .and_then(|b| b.slot.occupant())
-                .map(|o| &o.pkt),
-            InputRef::Inject { node, vnet } => self.inject[node.index()][vnet as usize].front(),
-        }
-    }
-
-    /// Mutable access to a resident packet (used by the escape-VC plugin to
-    /// re-stamp routes). Returns `None` for injection-queue inputs. The
-    /// holding router re-enters the allocator's scan set.
-    pub fn packet_at_mut(&mut self, input: InputRef) -> Option<&mut Packet> {
-        match input {
-            InputRef::Vc(v) => self.touch(v.router),
-            InputRef::Bubble(r) => self.touch(r),
-            InputRef::Inject { node, .. } => self.touch(node),
-        }
-        match input {
-            InputRef::Vc(v) => self.vc_mut(v).occupant_mut().map(|o| &mut o.pkt),
-            InputRef::Bubble(r) => self.routers[r.index()]
-                .bubble
-                .as_mut()
-                .and_then(|b| b.slot.occupant_mut())
-                .map(|o| &mut o.pkt),
-            InputRef::Inject { .. } => None,
-        }
+        let h = match input {
+            InputRef::Vc(v) => self.vc_occ[self.flat_vc(v)],
+            InputRef::Bubble(r) => self.bub_occ[r.index()],
+            InputRef::Inject { node, vnet } => self.inject[self.inject_idx(node, vnet)].head,
+        };
+        h.is_some().then(|| self.arena.get(h))
     }
 }
 
@@ -638,7 +996,6 @@ impl NetCore {
 mod tests {
     use super::*;
     use crate::packet::NewPacket;
-    use crate::vc::OccVc;
     use sb_routing::Route;
     use sb_topology::Mesh;
 
@@ -669,6 +1026,7 @@ mod tests {
         assert_eq!(core.queued(), 0);
         assert!(!core.any_occupied(NodeId(0)));
         assert_eq!(core.vc_refs(NodeId(0)).count(), 4 * 12);
+        assert!(core.arena().is_empty());
     }
 
     #[test]
@@ -697,16 +1055,13 @@ mod tests {
         let r = NodeId(9);
         // Fill all vnet-1 VCs at the North port.
         for vc in core.config().vcs_of_vnet(1) {
-            core.vc_mut(VcRef {
-                router: r,
-                port: Direction::North,
-                vc,
-            })
-            .put(
-                OccVc {
-                    pkt: dummy_packet(vc as u64, 1),
-                    ready_at: 0,
+            core.place_packet(
+                VcRef {
+                    router: r,
+                    port: Direction::North,
+                    vc,
                 },
+                dummy_packet(vc as u64, 1),
                 0,
             );
         }
@@ -720,5 +1075,27 @@ mod tests {
         );
         assert!(core.any_occupied(r));
         assert_eq!(core.in_flight(), 4);
+        assert_eq!(core.occupied_vcs(r), 4);
+        assert_eq!(core.arena().len(), 4);
+    }
+
+    #[test]
+    fn vc_take_leaves_a_draining_credit() {
+        let (mut core, _) = core_with_bubble();
+        let vref = VcRef {
+            router: NodeId(9),
+            port: Direction::North,
+            vc: 0,
+        };
+        let h = core.place_packet(vref, dummy_packet(1, 0), 3);
+        assert_eq!(core.vc_ready_at(vref), Some(3));
+        assert_eq!(core.vc_handle(vref), h);
+        assert!(!core.vc_is_free(vref));
+        let taken = core.vc_take(vref);
+        assert_eq!(taken, h);
+        // 5-flit packet taken at t=0: draining until cycle 5.
+        assert_eq!(core.vc_draining_until(vref), Some(5));
+        assert!(!core.vc_is_free(vref));
+        assert!(!core.any_occupied(NodeId(9)));
     }
 }

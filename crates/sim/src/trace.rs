@@ -209,6 +209,10 @@ impl<T: TrafficSource> TrafficSource for Traced<T> {
         self.inner.on_measurement_reset();
     }
 
+    fn on_topology_change(&mut self) {
+        self.inner.on_topology_change();
+    }
+
     fn next_arrival(&self, now: u64) -> Option<u64> {
         self.inner.next_arrival(now)
     }

@@ -60,6 +60,34 @@ pub trait TrafficSource {
     fn next_arrival(&self, now: u64) -> Option<u64> {
         Some(now)
     }
+
+    /// The engine swapped the topology (runtime reconfiguration): drop any
+    /// cached liveness-derived state, such as a memoized alive-node list.
+    /// Default: no-op. Wrapper sources must forward this to their inner
+    /// source.
+    fn on_topology_change(&mut self) {}
+}
+
+/// A memoized alive-node list: rebuilding it costs a full node walk plus an
+/// allocation, which the per-cycle samplers would otherwise pay on *every*
+/// `generate` call. Invalidated by [`TrafficSource::on_topology_change`];
+/// liveness only changes through engine reconfiguration, which emits that
+/// hook.
+#[derive(Debug, Clone, Default)]
+struct AliveCache {
+    nodes: Vec<NodeId>,
+    valid: bool,
+}
+
+impl AliveCache {
+    fn refresh(&mut self, topo: &Topology) -> &[NodeId] {
+        if !self.valid {
+            self.nodes.clear();
+            self.nodes.extend(topo.alive_nodes());
+            self.valid = true;
+        }
+        &self.nodes
+    }
 }
 
 /// Flit length used for data packets by the synthetic sources.
@@ -202,6 +230,7 @@ fn sample_gap(p: f64, rng: &mut StdRng) -> u64 {
 pub struct UniformTraffic {
     load: SyntheticLoad,
     sampler: Sampler,
+    alive: AliveCache,
 }
 
 impl UniformTraffic {
@@ -211,6 +240,7 @@ impl UniformTraffic {
         UniformTraffic {
             load: SyntheticLoad::new(rate),
             sampler: Sampler::Bernoulli,
+            alive: AliveCache::default(),
         }
     }
 
@@ -251,13 +281,13 @@ impl TrafficSource for UniformTraffic {
     ) -> Vec<NewPacket> {
         match &mut self.sampler {
             Sampler::Bernoulli => {
-                let alive: Vec<NodeId> = topo.alive_nodes().collect();
+                let alive = self.alive.refresh(topo);
                 if alive.len() < 2 {
                     return Vec::new();
                 }
                 let p = self.load.packet_prob();
                 let mut out = Vec::new();
-                for &src in &alive {
+                for &src in alive {
                     if rng.gen_bool(p) {
                         let mut dst = alive[rng.gen_range(0..alive.len())];
                         while dst == src {
@@ -282,7 +312,7 @@ impl TrafficSource for UniformTraffic {
                 if time < st.next_min {
                     return Vec::new();
                 }
-                let alive: Vec<NodeId> = topo.alive_nodes().collect();
+                let alive = self.alive.refresh(topo);
                 let mut out = Vec::new();
                 let mut min = u64::MAX;
                 for i in 0..st.next.len() {
@@ -330,6 +360,10 @@ impl TrafficSource for UniformTraffic {
                 }
             }
         }
+    }
+
+    fn on_topology_change(&mut self) {
+        self.alive.valid = false;
     }
 }
 

@@ -1,6 +1,10 @@
-//! Virtual channel state.
+//! Virtual channel addressing.
+//!
+//! Since the SoA refactor the per-slot state (occupant handle, readiness,
+//! drain deadline, cached desired output) lives in flat parallel arrays
+//! inside [`crate::NetCore`], indexed by the flat vc id
+//! ([`crate::NetCore::flat_vc`]). This module keeps only the *address* type.
 
-use crate::packet::Packet;
 use sb_topology::{Direction, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -13,129 +17,4 @@ pub struct VcRef {
     pub port: Direction,
     /// Flat VC index (`vnet * vcs_per_vnet + k`).
     pub vc: u8,
-}
-
-/// A packet resident in a VC.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OccVc {
-    /// The resident packet.
-    pub pkt: Packet,
-    /// First cycle at which the packet's head may be switched onward
-    /// (models the 1-cycle router + 1-cycle link pipeline).
-    pub ready_at: u64,
-}
-
-/// State of one VC buffer under virtual cut-through.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum VcSlot {
-    /// Empty and allocatable.
-    #[default]
-    Free,
-    /// The previous occupant's tail is still streaming out; allocatable once
-    /// `until` has passed (credit-return latency).
-    Draining {
-        /// First cycle at which the slot is free again.
-        until: u64,
-    },
-    /// Holding a packet.
-    Occupied(OccVc),
-}
-
-impl VcSlot {
-    /// Is the slot allocatable at cycle `now`?
-    pub fn is_free(&self, now: u64) -> bool {
-        match self {
-            VcSlot::Free => true,
-            VcSlot::Draining { until } => now >= *until,
-            VcSlot::Occupied(_) => false,
-        }
-    }
-
-    /// The occupant, if any.
-    pub fn occupant(&self) -> Option<&OccVc> {
-        match self {
-            VcSlot::Occupied(o) => Some(o),
-            _ => None,
-        }
-    }
-
-    /// Mutable occupant, if any.
-    pub fn occupant_mut(&mut self) -> Option<&mut OccVc> {
-        match self {
-            VcSlot::Occupied(o) => Some(o),
-            _ => None,
-        }
-    }
-
-    /// Take the occupant out, leaving the slot draining until `until`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is not occupied.
-    pub fn take(&mut self, until: u64) -> OccVc {
-        match std::mem::replace(self, VcSlot::Draining { until }) {
-            VcSlot::Occupied(o) => o,
-            other => panic!("take() on non-occupied slot {other:?}"),
-        }
-    }
-
-    /// Put a packet into the slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is not free at `now`.
-    pub fn put(&mut self, occ: OccVc, now: u64) {
-        assert!(self.is_free(now), "put() into non-free slot {self:?}");
-        *self = VcSlot::Occupied(occ);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::packet::{NewPacket, PacketId};
-    use sb_routing::Route;
-
-    fn occ() -> OccVc {
-        OccVc {
-            pkt: Packet::new(
-                PacketId(7),
-                NewPacket {
-                    src: NodeId(0),
-                    dst: NodeId(1),
-                    vnet: 0,
-                    len_flits: 5,
-                },
-                Route::default(),
-                0,
-            ),
-            ready_at: 2,
-        }
-    }
-
-    #[test]
-    fn slot_lifecycle() {
-        let mut slot = VcSlot::Free;
-        assert!(slot.is_free(0));
-        slot.put(occ(), 0);
-        assert!(!slot.is_free(0));
-        assert_eq!(slot.occupant().unwrap().pkt.id, PacketId(7));
-        let taken = slot.take(5);
-        assert_eq!(taken.pkt.id, PacketId(7));
-        assert!(!slot.is_free(4));
-        assert!(slot.is_free(5));
-    }
-
-    #[test]
-    #[should_panic(expected = "non-free slot")]
-    fn put_into_occupied_panics() {
-        let mut slot = VcSlot::Occupied(occ());
-        slot.put(occ(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "non-occupied slot")]
-    fn take_from_free_panics() {
-        VcSlot::Free.take(3);
-    }
 }

@@ -135,9 +135,15 @@ fn low_load_steady_state_keeps_worklist_sparse() {
 // ----------------------------------------------------------------------
 
 use proptest::prelude::*;
-use sb_scenario::{Design, FaultSpec, Scenario, TrafficSpec};
+use sb_scenario::{ClockMode, Design, FaultSpec, Scenario, TrafficSpec};
 
-/// Build one scenario of the sweep and run it in the requested kernel mode.
+/// Build one scenario of the sweep and run it in the requested kernel mode
+/// under the requested clock. The geometric arrival sampler is used on both
+/// sides (the Bernoulli sampler consumes one shared-RNG coin per node per
+/// cycle, so a leaped-over cycle would diverge); under [`ClockMode::Leap`]
+/// the audit runs every 5 cycles so real leaps happen between audit
+/// boundaries (`audit_every = 1` degenerates the leap to a step), while the
+/// stepped clock keeps the paranoid every-cycle cadence.
 fn design_run(
     design: Design,
     faults: usize,
@@ -145,6 +151,7 @@ fn design_run(
     rate: f64,
     seed: u64,
     full_scan: bool,
+    clock: ClockMode,
 ) -> Stats {
     let faults = if faults == 0 {
         FaultSpec::Pristine
@@ -155,20 +162,23 @@ fn design_run(
             seed: fault_seed,
         }
     };
-    let mut sim = Scenario::new("ab-sweep", design)
+    // Every audited cycle of the A/B sweep checks conservation, VC
+    // legality, FSM legality and missed wakeups; any violation panics the
+    // case with a forensics report.
+    let audit_every = match clock {
+        ClockMode::Step => 1,
+        ClockMode::Leap => 5,
+    };
+    let sc = Scenario::new("ab-sweep", design)
         .with_mesh(8, 8)
         .with_faults(faults)
-        .with_traffic(TrafficSpec::Uniform {
-            rate,
-            single_vnet: true,
-        })
         .with_seed(seed)
-        // Paranoid mode: every cycle of the A/B sweep is audited for
-        // conservation, VC legality, FSM legality and missed wakeups; any
-        // violation panics the case with a forensics report.
-        .with_audit_every(1)
-        .build();
+        .with_audit_every(audit_every);
+    let topo = sc.topology();
+    let traffic = UniformTraffic::new(rate).single_vnet().geometric();
+    let mut sim = sc.build_with(&topo, traffic);
     sim.scan_all_routers(full_scan);
+    sim.set_clock(clock);
     sim.warmup(200);
     sim.run(1_200);
     sim.stats().clone()
@@ -180,7 +190,9 @@ proptest! {
     /// The wakeup kernel is bit-identical to the reference sweep for every
     /// deadlock design, across random fault patterns and injection rates —
     /// from near-idle to past the saturation point where the congested /
-    /// blocked regime dominates.
+    /// blocked regime dominates — under both the stepped and the leaping
+    /// clock (the reference full sweep never leaps, so the Leap cases also
+    /// cross-check the leap itself against stepped-through cycles).
     #[test]
     fn wakeup_kernel_matches_reference_across_designs(
         design_idx in 0usize..4,
@@ -188,6 +200,7 @@ proptest! {
         fault_seed in any::<u64>(),
         rate_centi in 1u32..65,
         seed in any::<u64>(),
+        clock_idx in 0usize..2,
     ) {
         let design = [
             Design::Unprotected, // minimal routes, no mechanism
@@ -195,9 +208,10 @@ proptest! {
             Design::EscapeVc,
             Design::StaticBubble,
         ][design_idx];
+        let clock = [ClockMode::Step, ClockMode::Leap][clock_idx];
         let rate = rate_centi as f64 / 100.0;
-        let active = design_run(design, faults, fault_seed, rate, seed, false);
-        let reference = design_run(design, faults, fault_seed, rate, seed, true);
+        let active = design_run(design, faults, fault_seed, rate, seed, false, clock);
+        let reference = design_run(design, faults, fault_seed, rate, seed, true, clock);
         prop_assert_eq!(active, reference);
     }
 }

@@ -4,8 +4,7 @@
 
 use sb_routing::XyRouting;
 use sb_sim::{
-    AuditClass, NewPacket, NullPlugin, ScriptedTraffic, SimConfig, Simulator, UniformTraffic,
-    VcRef, VcSlot,
+    AuditClass, NewPacket, NullPlugin, ScriptedTraffic, SimConfig, Simulator, UniformTraffic, VcRef,
 };
 use sb_topology::{Direction, Mesh, Topology};
 
@@ -56,23 +55,19 @@ fn auditor_catches_seeded_vc_legality_violations() {
     // credit that would never return.
     let node = sim.core().topology().mesh().node_at(2, 2);
     let far = sim.core().time() + 10_000;
-    let slot = sim.core_mut().vc_mut(VcRef {
+    let slot = VcRef {
         router: node,
         port: Direction::North,
         vc: 0,
-    });
-    assert!(matches!(slot, VcSlot::Free), "pick an idle corner VC");
-    *slot = VcSlot::Draining { until: far };
+    };
+    assert!(sim.core().vc_is_free(slot), "pick an idle corner VC");
+    sim.core_mut().set_drain_for_test(slot, far);
     let report = sim.audit_now().expect("bogus draining slot must be caught");
     assert!(report
         .violations
         .iter()
         .any(|v| v.class == AuditClass::VcLegality && v.detail.contains("draining")));
-    *sim.core_mut().vc_mut(VcRef {
-        router: node,
-        port: Direction::North,
-        vc: 0,
-    }) = VcSlot::Free;
+    sim.core_mut().set_drain_for_test(slot, 0);
     assert!(sim.audit_now().is_none(), "clean again after repair");
 
     // (2) A packet parked in a VC of the wrong vnet (vnet residency).
@@ -82,21 +77,21 @@ fn auditor_catches_seeded_vc_legality_violations() {
     let mut moved = false;
     'search: for _ in 0..2_000 {
         sim.run(1);
-        let now = sim.core().time();
         for router in sim.core().topology().mesh().nodes() {
             for port in sb_topology::DIRECTIONS {
                 for vc in 0..vcs_per_vnet {
                     // Only consider vnet-0 VCs; relocate into a vnet-1 VC.
                     let r = VcRef { router, port, vc };
-                    let occupied = sim.core().vc(r).occupant().is_some_and(|o| o.pkt.vnet == 0);
+                    let occupied = sim.core().vc_occupant(r).is_some_and(|pkt| pkt.vnet == 0);
                     let dst = VcRef {
                         router,
                         port,
                         vc: vcs_per_vnet, // first VC of vnet 1
                     };
-                    if occupied && sim.core().vc(dst).is_free(now) {
-                        let occ = sim.core_mut().vc_mut(r).take(now);
-                        sim.core_mut().vc_mut(dst).put(occ, now);
+                    if occupied && sim.core().vc_is_free(dst) {
+                        let ready = sim.core().vc_ready_at(r).expect("checked occupied");
+                        let h = sim.core_mut().vc_clear(r).expect("checked occupied");
+                        sim.core_mut().vc_put(dst, h, ready);
                         moved = true;
                         break 'search;
                     }

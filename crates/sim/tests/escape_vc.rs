@@ -37,24 +37,24 @@ fn escaped_packets_obey_the_escape_discipline() {
             for port in DIRECTIONS {
                 for vc in 0..core.config().vcs_per_port() as u8 {
                     let r = VcRef { router, port, vc };
-                    let Some(occ) = core.vc(r).occupant() else {
+                    let Some(pkt) = core.vc_occupant(r) else {
                         continue;
                     };
-                    if occ.pkt.mode == PacketMode::Escape {
+                    if pkt.mode == PacketMode::Escape {
                         saw_escape = true;
                         // Escape packets sit in the escape VC only (once
                         // they have moved at least one hop after
                         // escalation, i.e. when their hop index is > 0).
-                        if occ.pkt.hop_index() > 0 {
+                        if pkt.hop_index() > 0 {
                             assert_eq!(
                                 vc,
-                                EscapeVcPlugin::escape_vc(core, occ.pkt.vnet),
+                                EscapeVcPlugin::escape_vc(core, pkt.vnet),
                                 "escape packet in a regular VC at {router}"
                             );
                         }
                         // Its remaining route is an up-down legal path.
                         let remaining = sb_routing::Route::new(
-                            occ.pkt.route().directions()[occ.pkt.hop_index()..].to_vec(),
+                            pkt.route().directions()[pkt.hop_index()..].to_vec(),
                         );
                         assert!(
                             updown.is_legal(router, &remaining),

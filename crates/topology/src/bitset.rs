@@ -99,6 +99,61 @@ impl NodeSet {
         }
     }
 
+    /// The backing words, least-significant bit = id 0 of each 64-id block.
+    ///
+    /// This is the sanctioned word-level view for callers that scan the set
+    /// with their own bit tricks (the switch allocator's per-cycle snapshot
+    /// walk); bits above `capacity` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The smallest member with id `>= from`, or `None` if no such member.
+    ///
+    /// Cursor-style iteration (`from = last.index() + 1`) visits members in
+    /// ascending order and costs O(words + members) over a whole sweep,
+    /// since consecutive calls re-examine at most one word.
+    pub fn first_set_from(&self, from: usize) -> Option<NodeId> {
+        if from >= self.capacity {
+            return None;
+        }
+        let (mut w, b) = (from / 64, from % 64);
+        let mut word = self.words[w] & (!0u64 << b);
+        loop {
+            if word != 0 {
+                return Some(NodeId::from(w * 64 + word.trailing_zeros() as usize));
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Remove every member with id in `lo..hi` (clamped to capacity).
+    pub fn clear_range(&mut self, lo: usize, hi: usize) {
+        let hi = hi.min(self.capacity);
+        if lo >= hi {
+            return;
+        }
+        let (lw, lb) = (lo / 64, lo % 64);
+        let (hw, hb) = (hi / 64, hi % 64);
+        let lo_mask = !0u64 << lb; // bits >= lb
+        let hi_mask = if hb == 0 { 0 } else { !0u64 >> (64 - hb) }; // bits < hb
+        if lw == hw {
+            self.words[lw] &= !(lo_mask & hi_mask);
+            return;
+        }
+        self.words[lw] &= !lo_mask;
+        for w in &mut self.words[lw + 1..hw] {
+            *w = 0;
+        }
+        if hw < self.words.len() {
+            self.words[hw] &= !hi_mask;
+        }
+    }
+
     /// Iterate members in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -177,5 +232,70 @@ mod tests {
     #[should_panic(expected = "out of NodeSet capacity")]
     fn insert_out_of_capacity_panics() {
         NodeSet::new(8).insert(NodeId(8));
+    }
+
+    #[test]
+    fn words_expose_the_exact_bit_pattern() {
+        let mut s = NodeSet::new(130);
+        for id in [0u16, 63, 64, 129] {
+            s.insert(NodeId(id));
+        }
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1 | 1 << 63);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 1 << 1);
+        // Bits above capacity stay zero even after fill().
+        let f = NodeSet::full(70);
+        assert_eq!(f.words()[1], (1 << 6) - 1);
+    }
+
+    #[test]
+    fn first_set_from_cursor_walks_ascending() {
+        let mut s = NodeSet::new(300);
+        let members = [3u16, 64, 65, 190, 299];
+        for id in members {
+            s.insert(NodeId(id));
+        }
+        let mut got = Vec::new();
+        let mut cur = 0usize;
+        while let Some(n) = s.first_set_from(cur) {
+            got.push(n.0);
+            cur = n.index() + 1;
+        }
+        assert_eq!(got, members);
+        assert_eq!(s.first_set_from(300), None);
+        assert_eq!(s.first_set_from(1000), None);
+        assert_eq!(NodeSet::new(100).first_set_from(0), None);
+        // `from` pointing at a member returns that member.
+        assert_eq!(s.first_set_from(64), Some(NodeId(64)));
+        assert_eq!(s.first_set_from(66), Some(NodeId(190)));
+    }
+
+    #[test]
+    fn clear_range_within_one_word_and_across_words() {
+        let mut s = NodeSet::full(200);
+        s.clear_range(10, 20); // single word
+        assert!(s.contains(NodeId(9)));
+        assert!(!s.contains(NodeId(10)));
+        assert!(!s.contains(NodeId(19)));
+        assert!(s.contains(NodeId(20)));
+        s.clear_range(60, 130); // spans three words
+        assert!(s.contains(NodeId(59)));
+        assert!(!s.contains(NodeId(60)));
+        assert!(!s.contains(NodeId(64)));
+        assert!(!s.contains(NodeId(129)));
+        assert!(s.contains(NodeId(130)));
+        // Degenerate and clamped ranges.
+        s.clear_range(150, 150);
+        assert!(s.contains(NodeId(150)));
+        s.clear_range(190, 10_000);
+        assert!(!s.contains(NodeId(199)));
+        assert!(s.contains(NodeId(189)));
+        // Word-aligned upper bound.
+        let mut a = NodeSet::full(128);
+        a.clear_range(0, 64);
+        assert_eq!(a.len(), 64);
+        assert!(a.contains(NodeId(64)));
     }
 }

@@ -10,7 +10,7 @@
 use static_bubble_repro::core::{FsmState, SbOptions, StaticBubblePlugin};
 use static_bubble_repro::routing::MinimalRouting;
 use static_bubble_repro::sim::{
-    NewPacket, NoTraffic, OccVc, Packet, PacketId, SimConfig, Simulator, VcRef,
+    NewPacket, NoTraffic, Packet, PacketId, SimConfig, Simulator, VcRef,
 };
 use static_bubble_repro::topology::{Direction, Mesh, NodeId, Topology};
 
@@ -60,8 +60,7 @@ fn main() {
             0,
         );
         sim.core_mut()
-            .vc_mut(VcRef { router, port, vc })
-            .put(OccVc { pkt, ready_at: 0 }, 0);
+            .place_packet(VcRef { router, port, vc }, pkt, 0);
     };
     // The (A,B)→(C)→(E,F)→(G,H)→(I,J)→(K)→(A,B) ring of Fig. 6.
     place(&mut sim, node5, South, 1, 'I', n8, vec![North, West]);
