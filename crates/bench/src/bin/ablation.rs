@@ -1,10 +1,16 @@
 //! **Ablation** — the Static Bubble design choices called out in
 //! `DESIGN.md`: probe forking and the check-probe fast path, measured by
 //! recovery effectiveness on staged organic deadlocks.
+//!
+//! A fleet client at the `run_collect` level: the grid is a [`SweepSpec`]
+//! over the four SB variants × the sampled topologies, with the historical
+//! per-topology simulation seeds (`700 + i`, paired with topology `i` as
+//! the pre-fleet version did) patched onto the expanded runs before they
+//! fan out over the pool.
 
-use sb_bench::{Args, Design, Scenario, Table};
-use sb_topology::{FaultKind, FaultModel, Mesh};
-use static_bubble::SbOptions;
+use sb_bench::{sweep::default_threads, Args, Design, Table};
+use sb_fleet::{aggregate, run_collect, ExecOptions, SweepSpec};
+use sb_sim::SpecialClass;
 
 fn main() {
     let args = Args::parse_spec(
@@ -20,41 +26,42 @@ fn main() {
     let topos = args.get_usize("topos", 6);
     let cycles = args.get_u64("cycles", 8_000);
     let rate = args.get_f64("rate", 0.30);
-    let mesh = Mesh::new(8, 8);
+    let jobs = default_threads(&args);
 
-    let variants = [
-        (
-            "full",
-            SbOptions {
-                forking: true,
-                check_probe: true,
-            },
-        ),
-        (
-            "no-forking",
-            SbOptions {
-                forking: false,
-                check_probe: true,
-            },
-        ),
-        (
-            "no-check-probe",
-            SbOptions {
-                forking: true,
-                check_probe: false,
-            },
-        ),
-        (
-            "neither",
-            SbOptions {
-                forking: false,
-                check_probe: false,
-            },
-        ),
-    ];
+    let variants = ["full", "no-forking", "no-check-probe", "neither"];
 
-    let fm = FaultModel::new(FaultKind::Links, 15);
-    let batch = fm.sample_topologies(mesh, 0x00AB_1A7E, topos);
+    // The same topology batch `FaultModel::sample_topologies(mesh,
+    // 0x00AB_1A7E, topos)` drew before the fleet port: per-sample seeds are
+    // derived the same way and fed through `FaultSpec::Model`.
+    let topo_seeds: Vec<u64> = (0..topos as u64)
+        .map(|i| 0x00AB_1A7E ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+        .collect();
+
+    let mut spec = SweepSpec::new("ablation");
+    spec.meshes = vec!["8x8".into()];
+    spec.link_faults = vec![15];
+    spec.topo_seeds = topo_seeds.clone();
+    spec.designs = vec![Design::StaticBubble.label().to_string()];
+    spec.sb_variants = variants.iter().map(|v| v.to_string()).collect();
+    spec.rates = vec![rate];
+    spec.warmup = 500;
+    spec.cycles = cycles;
+    spec.tdd = 34;
+
+    // Expansion order is topo_seed (outer) → variant → rate → seed, so the
+    // topology index of run `i` is `i / variants.len()`; restore the
+    // historical pairing of simulation seed 700+topo onto each run.
+    let mut runs = spec.expand().expect("ablation grid");
+    for (i, run) in runs.iter_mut().enumerate() {
+        run.scenario.seed = 700 + (i / variants.len()) as u64;
+    }
+    let records = run_collect(&runs, jobs, ExecOptions::default());
+    let report = aggregate(&spec.name, spec.accept, &runs, records);
+    assert!(
+        report.failed.is_empty(),
+        "ablation runs failed: {:?}",
+        report.failed
+    );
 
     let mut table = Table::new(
         "Ablation: SB variants under deadlock-prone load (UR, 15 link faults)",
@@ -67,31 +74,32 @@ fn main() {
             "checkprobe_hops",
         ],
     );
-    for (name, opts) in variants {
+    for name in variants {
+        let marker = format!("/{name}/");
         let mut delivered = 0u64;
         let mut thr = 0.0;
         let mut probes = 0u64;
         let mut recovered = 0u64;
         let mut cp_hops = 0u64;
-        for (i, topo) in batch.iter().enumerate() {
-            let out = Scenario::new(name, Design::StaticBubble)
-                .with_rate(rate)
-                .with_seed(700 + i as u64)
-                .with_warmup(500)
-                .with_cycles(cycles)
-                .with_tdd(34)
-                .with_sb_options(opts)
-                .run_on(topo);
-            delivered += out.stats.delivered_packets;
-            thr += out.stats.throughput(topo.alive_node_count());
-            probes += out.stats.probes_sent;
-            recovered += out.stats.deadlocks_recovered;
-            cp_hops += out.stats.special_link_flits[sb_sim::SpecialClass::CheckProbe.index()];
+        let mut n = 0usize;
+        for row in report
+            .scenarios
+            .iter()
+            .filter(|r| r.id.key.contains(&marker))
+        {
+            let stats = row.stats.as_ref().expect("no failures above");
+            delivered += stats.delivered_packets;
+            thr += stats.throughput(row.nodes);
+            probes += stats.probes_sent;
+            recovered += stats.deadlocks_recovered;
+            cp_hops += stats.special_link_flits[SpecialClass::CheckProbe.index()];
+            n += 1;
         }
+        assert_eq!(n, topos, "variant {name} must cover every topology");
         table.row(&[
             name.to_string(),
             delivered.to_string(),
-            format!("{:.3}", thr / batch.len() as f64),
+            format!("{:.3}", thr / n as f64),
             probes.to_string(),
             recovered.to_string(),
             cp_hops.to_string(),

@@ -1,6 +1,12 @@
 //! **Fig. 12** — Rodinia application throughput (completed transactions per
 //! kilocycle) for escape-VC and Static Bubble, normalized to the spanning
 //! tree, as link/router faults increase.
+//!
+//! Application traffic has no serialized form, so this stays a pool-level
+//! fleet client: the full app × fault-point grid is flattened into one
+//! work list and fanned over the work-stealing pool (`--jobs 1` runs it
+//! sequentially in grid order), instead of the pre-fleet per-app batches
+//! that left workers idle at each app boundary.
 
 use sb_bench::{
     parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table,
@@ -18,7 +24,7 @@ fn main() {
     let topos = args.get_usize("topos", 4);
     let cycles = args.get_u64("cycles", 20_000);
     let mesh = Mesh::new(8, 8);
-    let threads = default_threads(&args);
+    let jobs = default_threads(&args);
 
     let mut table = Table::new(
         "Fig. 12: Rodinia app throughput (txn/kcycle), normalized to sp-tree",
@@ -36,63 +42,73 @@ fn main() {
         (FaultKind::Routers, 20),
     ];
 
-    for app in RodiniaApp::ALL {
-        let rows = parallel_map(fault_points.to_vec(), threads, |&(kind, faults)| {
-            let mcs = default_memory_controllers(mesh);
-            let (batch, attempts) = sample_topologies_filtered(
-                mesh,
-                kind,
-                faults,
-                topos,
-                0xF16_0012 + faults as u64,
-                |t| {
-                    AppTraffic::new(app.profile(), t).is_some() && {
-                        // Keep the paper's filter: MCs must not be disconnected.
-                        sb_workloads::mc::mcs_connected(t, &mcs) || faults == 0
-                    }
-                },
-            );
-            if batch.len() < topos {
-                eprintln!(
-                    "fig12: {kind:?}/{faults}: only {}/{topos} topologies passed the filter \
-                     in {attempts} attempts",
-                    batch.len()
-                );
-            }
-            if batch.is_empty() {
-                return (kind, faults, None);
-            }
-            let mut thr = [0.0f64; 3];
-            for (i, topo) in batch.iter().enumerate() {
-                for (k, &d) in Design::ALL.iter().enumerate() {
-                    let Some(traffic) = AppTraffic::new(app.profile(), topo) else {
-                        continue;
-                    };
-                    let mut completed_rate = 0.0;
-                    // Run the closed loop for the window; throughput =
-                    // completed transactions per kilocycle.
-                    let (_, completed, _) =
-                        d.run_app(topo, SimConfig::default(), traffic, 500 + i as u64, cycles);
-                    completed_rate += completed as f64 * 1000.0 / cycles as f64;
-                    thr[k] += completed_rate;
+    // One flat work list: every (app, fault point) cell is an independent
+    // task, so a slow cell steals help instead of serializing its app.
+    let grid: Vec<(RodiniaApp, FaultKind, usize)> = RodiniaApp::ALL
+        .iter()
+        .flat_map(|&app| fault_points.iter().map(move |&(k, f)| (app, k, f)))
+        .collect();
+
+    let rows = parallel_map(grid, jobs, |&(app, kind, faults)| {
+        let mcs = default_memory_controllers(mesh);
+        let (batch, attempts) = sample_topologies_filtered(
+            mesh,
+            kind,
+            faults,
+            topos,
+            0xF16_0012 + faults as u64,
+            |t| {
+                AppTraffic::new(app.profile(), t).is_some() && {
+                    // Keep the paper's filter: MCs must not be disconnected.
+                    sb_workloads::mc::mcs_connected(t, &mcs) || faults == 0
                 }
-            }
-            let n = batch.len() as f64;
-            (kind, faults, Some([thr[0] / n, thr[1] / n, thr[2] / n]))
-        });
-        for (kind, faults, res) in rows {
-            let Some([sp, evc, sb]) = res else {
-                continue;
-            };
-            table.row(&[
-                app.profile().name.to_string(),
-                format!("{kind:?}"),
-                faults.to_string(),
-                format!("{sp:.2}"),
-                format!("{:.2}", evc / sp.max(1e-9)),
-                format!("{:.2}", sb / sp.max(1e-9)),
-            ]);
+            },
+        );
+        if batch.len() < topos {
+            eprintln!(
+                "fig12: {kind:?}/{faults}: only {}/{topos} topologies passed the filter \
+                 in {attempts} attempts",
+                batch.len()
+            );
         }
+        if batch.is_empty() {
+            return (app, kind, faults, None);
+        }
+        let mut thr = [0.0f64; 3];
+        for (i, topo) in batch.iter().enumerate() {
+            for (k, &d) in Design::ALL.iter().enumerate() {
+                let Some(traffic) = AppTraffic::new(app.profile(), topo) else {
+                    continue;
+                };
+                let mut completed_rate = 0.0;
+                // Run the closed loop for the window; throughput =
+                // completed transactions per kilocycle.
+                let (_, completed, _) =
+                    d.run_app(topo, SimConfig::default(), traffic, 500 + i as u64, cycles);
+                completed_rate += completed as f64 * 1000.0 / cycles as f64;
+                thr[k] += completed_rate;
+            }
+        }
+        let n = batch.len() as f64;
+        (
+            app,
+            kind,
+            faults,
+            Some([thr[0] / n, thr[1] / n, thr[2] / n]),
+        )
+    });
+    for (app, kind, faults, res) in rows {
+        let Some([sp, evc, sb]) = res else {
+            continue;
+        };
+        table.row(&[
+            app.profile().name.to_string(),
+            format!("{kind:?}"),
+            faults.to_string(),
+            format!("{sp:.2}"),
+            format!("{:.2}", evc / sp.max(1e-9)),
+            format!("{:.2}", sb / sp.max(1e-9)),
+        ]);
     }
     table.print();
     if let Some(path) = args.get_str("csv") {

@@ -3,6 +3,10 @@
 //!
 //! Runtime = cycles to complete a fixed transaction budget per app (the
 //! full-system runtime stand-in); EDP = network energy × runtime.
+//!
+//! Application traffic has no serialized form, so this stays a pool-level
+//! fleet client: the per-app work list fans out over the work-stealing
+//! pool (`--jobs 1` runs it sequentially in app order).
 
 use sb_bench::{
     parallel_map, sample_topologies_filtered, sweep::default_threads, Args, Design, Table,
@@ -28,7 +32,7 @@ fn main() {
     let max_cycles = args.get_u64("max-cycles", 400_000);
     let mesh = Mesh::new(8, 8);
     let model = EnergyModel::dsent_32nm();
-    let threads = default_threads(&args);
+    let jobs = default_threads(&args);
 
     let mut table = Table::new(
         "Fig. 13: PARSEC runtime and network EDP normalized to sp-tree (4 link faults)",
@@ -44,7 +48,7 @@ fn main() {
     );
 
     let apps: Vec<ParsecApp> = ParsecApp::ALL.to_vec();
-    let rows = parallel_map(apps, threads, |&app| {
+    let rows = parallel_map(apps, jobs, |&app| {
         let (batch, attempts) =
             sample_topologies_filtered(mesh, FaultKind::Links, 4, topos, 0xF16_0013, |t| {
                 AppTraffic::new(app.profile(), t).is_some()

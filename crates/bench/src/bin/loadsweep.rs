@@ -1,10 +1,17 @@
 //! **Supplemental** — the classic offered-load vs. latency/throughput curve
 //! for all four designs on one representative irregular topology (the raw
 //! curve whose knees Fig. 9 summarizes).
+//!
+//! A thin fleet client: the grid is a [`SweepSpec`], execution fans out
+//! over the work-stealing pool (`--jobs 1` is the sequential reference
+//! path), and the cells come from the aggregated report — so the printed
+//! table is identical for any `--jobs` value.
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Scenario, Table};
-use sb_scenario::FaultSpec;
-use sb_topology::FaultKind;
+use std::collections::HashMap;
+
+use sb_bench::{sweep::default_threads, Args, Table};
+use sb_fleet::{run_sweep, SweepSpec};
+use sb_scenario::Design;
 
 fn main() {
     let args = Args::parse_spec(
@@ -20,18 +27,45 @@ fn main() {
     let faults = args.get_usize("faults", 15);
     let seed = args.get_u64("seed", 1);
     let window = args.get_u64("window", 6_000);
-    let base = Scenario::new("loadsweep", Design::StaticBubble)
-        .with_faults(FaultSpec::Model {
-            kind: FaultKind::Links,
-            count: faults,
-            seed,
-        })
-        .with_seed(7)
-        .with_warmup(1_500)
-        .with_cycles(window);
-    let topo = base.topology();
-    let nodes = topo.alive_node_count();
-    let threads = default_threads(&args);
+    let jobs = default_threads(&args);
+
+    let designs = [
+        Design::SpanningTree,
+        Design::TreeOnly,
+        Design::EscapeVc,
+        Design::StaticBubble,
+    ];
+    let rates = vec![0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25];
+
+    let mut spec = SweepSpec::new("loadsweep");
+    spec.meshes = vec!["8x8".into()];
+    spec.link_faults = vec![faults];
+    spec.topo_seeds = vec![seed];
+    spec.designs = designs.iter().map(|d| d.label().to_string()).collect();
+    spec.rates = rates.clone();
+    spec.seeds = vec![7];
+    spec.warmup = 1_500;
+    spec.cycles = window;
+
+    // Index the aggregated points by (design, rate) through the expansion
+    // (group keys match between expand() and the report).
+    let runs = spec.expand().expect("loadsweep grid");
+    let coords: HashMap<&str, (Design, f64)> = runs
+        .iter()
+        .map(|r| (r.group.as_str(), (r.scenario.design, r.rate)))
+        .collect();
+    let report = run_sweep(&spec, jobs).expect("loadsweep sweep");
+    let mut cells: HashMap<(Design, u64), (f64, f64)> = HashMap::new();
+    for point in &report.points {
+        let (design, rate) = coords[point.group.as_str()];
+        cells.insert(
+            (design, rate.to_bits()),
+            (
+                point.latency.mean.unwrap_or(f64::NAN),
+                point.throughput.mean.unwrap_or(f64::NAN),
+            ),
+        );
+    }
 
     let mut table = Table::new(
         &format!("Load sweep on an 8x8 mesh with {faults} link faults (latency cycles | thr flits/node/cycle)"),
@@ -43,30 +77,12 @@ fn main() {
             "sb_lat", "sb_thr",
         ],
     );
-    let rates: Vec<f64> = vec![0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25];
-    let designs = [
-        Design::SpanningTree,
-        Design::TreeOnly,
-        Design::EscapeVc,
-        Design::StaticBubble,
-    ];
-    let rows = parallel_map(rates, threads, |&rate| {
-        let mut cells = Vec::with_capacity(8);
-        for d in designs {
-            let out = base.clone().with_design(d).with_rate(rate).run_on(&topo);
-            cells.push(out.stats.avg_latency().unwrap_or(f64::NAN));
-            cells.push(out.stats.throughput(nodes));
-        }
-        (rate, cells)
-    });
-    for (rate, cells) in rows {
+    for &rate in &rates {
         let mut row = vec![format!("{rate:.2}")];
-        for (i, c) in cells.iter().enumerate() {
-            row.push(if i % 2 == 0 {
-                format!("{c:.1}")
-            } else {
-                format!("{c:.3}")
-            });
+        for d in designs {
+            let (lat, thr) = cells[&(d, rate.to_bits())];
+            row.push(format!("{lat:.1}"));
+            row.push(format!("{thr:.3}"));
         }
         table.row(&row);
     }

@@ -41,8 +41,10 @@ pub struct Args {
     usage: Option<String>,
 }
 
-/// Keys every experiment binary accepts without declaring them.
-const BUILTIN_KEYS: &[&str] = &["threads", "help"];
+/// Keys every experiment binary accepts without declaring them. `--jobs`
+/// is the fleet-era spelling of `--threads`; both feed
+/// [`crate::sweep::default_threads`].
+const BUILTIN_KEYS: &[&str] = &["jobs", "threads", "help"];
 
 impl Args {
     /// Strictly parse the process arguments against a declared knob list.
@@ -111,7 +113,10 @@ impl Args {
         for (k, d) in knobs {
             writeln!(s, "    --{k:<12} (default {d})").expect("write to string");
         }
-        s.push_str("    --threads      (default: available cores)\n    --help\n");
+        s.push_str(
+            "    --jobs         worker threads; 1 = sequential (default: available cores)\n    \
+             --threads      legacy alias for --jobs\n    --help\n",
+        );
         s
     }
 
@@ -247,6 +252,17 @@ mod tests {
         assert_eq!(a.get_usize("topos", 10), 16);
         assert!(a.flag("sim"));
         assert_eq!(a.get_usize("threads", 4), 2);
+    }
+
+    #[test]
+    fn spec_accepts_jobs_builtin_and_it_wins_over_legacy_threads() {
+        let a = strict(&["--jobs", "8"]).expect("--jobs is a builtin");
+        assert_eq!(a.get_usize("jobs", 1), 8);
+        // default_threads resolution order: --jobs, then legacy --threads.
+        let both = strict(&["--jobs", "8", "--threads", "2"]).expect("both accepted");
+        assert_eq!(both.get_usize("jobs", both.get_usize("threads", 0)), 8);
+        let legacy = strict(&["--threads", "2"]).expect("legacy alias accepted");
+        assert_eq!(legacy.get_usize("jobs", legacy.get_usize("threads", 0)), 2);
     }
 
     #[test]

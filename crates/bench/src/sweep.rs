@@ -53,46 +53,24 @@ pub fn sample_topologies_filtered(
 }
 
 /// Map `f` over `items` on up to `threads` OS threads (order-preserving).
+/// A thin wrapper over the fleet's work-stealing pool
+/// ([`sb_fleet::pool::ordered_map_unwrap`]); kept because every figure
+/// binary closes over `&T`.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
+    sb_fleet::pool::ordered_map_unwrap(items, threads, |_, item| f(&item))
 }
 
-/// Number of worker threads: `--threads` override or available parallelism.
+/// Number of worker threads: `--jobs` (preferred) or the legacy
+/// `--threads`, defaulting to available parallelism. `--jobs 1` is the
+/// sequential reference path.
 pub fn default_threads(args: &crate::Args) -> usize {
-    args.get_usize(
-        "threads",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    )
+    let auto = std::thread::available_parallelism().map_or(4, |n| n.get());
+    args.get_usize("jobs", args.get_usize("threads", auto))
 }
 
 /// Find the saturation throughput of `design` on `topo`: sweep the offered

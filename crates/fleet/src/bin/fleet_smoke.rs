@@ -1,0 +1,70 @@
+//! CI smoke test for the fleet: run a small fig12-shaped grid (8×8 mesh,
+//! link faults, spanning-tree baseline vs Static Bubble) sequentially and
+//! in parallel, assert the two reports are byte-identical and nonempty,
+//! and — on runners with ≥ 4 cores — assert the parallel run is at least
+//! 2× faster. Prints a one-line JSON timing record for the benchmark log.
+//!
+//! Exit code 0 = all assertions held.
+
+use std::time::Instant;
+
+use sb_fleet::{run_sweep, SweepSpec};
+
+fn main() {
+    let mut spec = SweepSpec::new("fleet-smoke-fig12");
+    spec.meshes = vec!["8x8".into()];
+    spec.link_faults = vec![0, 8];
+    spec.topo_seeds = vec![0x00AB_1A7E];
+    spec.designs = vec!["sp-tree".into(), "static-bubble".into()];
+    spec.rates = vec![0.05, 0.10];
+    spec.seeds = vec![1, 2];
+    spec.warmup = 500;
+    spec.cycles = 3_000;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = cores.clamp(2, 4);
+
+    let t0 = Instant::now();
+    let seq = run_sweep(&spec, 1).expect("sequential sweep");
+    let seq_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let par = run_sweep(&spec, jobs).expect("parallel sweep");
+    let par_secs = t1.elapsed().as_secs_f64();
+
+    let seq_json = seq.to_json().expect("serialize");
+    let par_json = par.to_json().expect("serialize");
+    assert_eq!(
+        seq_json, par_json,
+        "fleet output must be byte-identical for --jobs 1 vs --jobs {jobs}"
+    );
+    assert!(seq.total_runs > 0, "smoke grid expanded to zero runs");
+    assert_eq!(
+        seq.completed, seq.total_runs,
+        "smoke runs failed: {:?}",
+        seq.failed
+    );
+    assert!(
+        !seq.points.is_empty() && !seq.saturation.is_empty(),
+        "aggregated report is empty"
+    );
+    assert!(
+        seq.points.iter().any(|p| p.merged.delivered_packets > 0),
+        "no traffic delivered anywhere in the smoke grid"
+    );
+
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!(
+        "{{\"bench\":\"fleet\",\"runs\":{},\"jobs\":{},\"cores\":{},\"seq_secs\":{:.3},\"par_secs\":{:.3},\"speedup\":{:.2}}}",
+        seq.total_runs, jobs, cores, seq_secs, par_secs, speedup
+    );
+
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup at --jobs {jobs} on a {cores}-core runner, got {speedup:.2}x"
+        );
+    } else {
+        eprintln!("fleet_smoke: only {cores} core(s) available, skipping the 2x speedup assertion");
+    }
+}

@@ -1,0 +1,112 @@
+//! Run a [`SweepSpec`] file across the fleet and emit the aggregated
+//! JSON report.
+//!
+//! ```text
+//! sweep --spec grid.toml [--jobs N] [--out report.json] [--forensics] [--drain CYCLES]
+//! ```
+//!
+//! `--jobs 1` is the sequential reference path; any other value produces
+//! byte-identical output (the equivalence suite proves it), so the flag is
+//! purely a wall-clock knob.
+
+use std::process::exit;
+
+use sb_fleet::{run_sweep_with, ExecOptions, SweepSpec};
+
+struct Cli {
+    spec: String,
+    jobs: usize,
+    out: String,
+    forensics: bool,
+    drain: Option<u64>,
+}
+
+const USAGE: &str =
+    "usage: sweep --spec FILE [--jobs N] [--out FILE|-] [--forensics] [--drain CYCLES]
+  --spec FILE    sweep grid, TOML or JSON (required)
+  --jobs N       worker threads (default: available cores)
+  --out FILE|-   report destination (default: stdout)
+  --forensics    capture deadlock forensics per wedged run
+  --drain N      after the window, stop injection and drain up to N cycles";
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec: String::new(),
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        out: "-".to_string(),
+        forensics: false,
+        drain: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--spec" => cli.spec = value("--spec")?,
+            "--jobs" => {
+                cli.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--out" => cli.out = value("--out")?,
+            "--forensics" => cli.forensics = true,
+            "--drain" => {
+                cli.drain = Some(
+                    value("--drain")?
+                        .parse()
+                        .map_err(|e| format!("--drain: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if cli.spec.is_empty() {
+        return Err("--spec is required".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("sweep: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let spec = match SweepSpec::load(&cli.spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            exit(1);
+        }
+    };
+    let opts = ExecOptions {
+        forensics: cli.forensics,
+        drain_budget: cli.drain,
+    };
+    let report = match run_sweep_with(&spec, cli.jobs, opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            exit(1);
+        }
+    };
+    if !report.failed.is_empty() {
+        eprintln!(
+            "sweep: {} of {} runs failed (see `failed` in the report)",
+            report.failed.len(),
+            report.total_runs
+        );
+    }
+    let json = report.to_json().expect("report serializes");
+    if cli.out == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&cli.out, json + "\n") {
+        eprintln!("sweep: write {}: {e}", cli.out);
+        exit(1);
+    }
+}

@@ -1,0 +1,116 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Parallel sweep fleet (system **S12**, see `DESIGN.md` §10): fan a grid
+//! of [`Scenario`]s across a work-stealing thread pool and fold the
+//! streamed results into a byte-identical-for-any-`--jobs` report.
+//!
+//! The pipeline:
+//!
+//! ```text
+//! SweepSpec ──expand()──▶ Vec<SweepRun>          (stable ScenarioIds)
+//!     │                        │
+//!     │                   pool::run_stream       (N workers, stealing)
+//!     │                        │  (index, Result<RunResult, panic>)
+//!     └──────── agg::aggregate ◀┘                (index-sorted finalize)
+//!                    │
+//!                SweepReport ──to_json()──▶ identical bytes ∀ jobs
+//! ```
+//!
+//! Determinism rests on two facts: every scenario owns its RNG (seeded
+//! from the spec, never from ambient state), so a run's result is a pure
+//! function of its `SweepRun`; and the aggregator defers all arithmetic
+//! to a finalize pass over index-sorted records, so float summation order
+//! is fixed. `tests/equivalence.rs` property-tests the composition.
+
+pub mod agg;
+pub mod pool;
+pub mod spec;
+
+pub use agg::{
+    aggregate, FailedRow, PointSummary, RunResult, SampleStats, SaturationRow, ScenarioRecord,
+    ScenarioRow, ShortfallRow, SweepReport,
+};
+pub use spec::{SweepRun, SweepSpec};
+
+use sb_scenario::{Scenario, SpecError};
+
+/// Knobs for how each scenario is executed beyond its own spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Capture a [`sb_sim::ForensicsReport`] when a run ends deadlocked.
+    pub forensics: bool,
+    /// After the measurement window, stop injection and try to drain for
+    /// this many cycles; record whether the network emptied.
+    pub drain_budget: Option<u64>,
+}
+
+/// Execute one scenario to completion: materialize the topology, warm up,
+/// run the measurement window, optionally drain, and capture forensics for
+/// a deadlocked end state. Deterministic given the scenario (all RNG is
+/// seeded from its fields). Panics propagate to the caller — under the
+/// pool they become the run's `Err` payload.
+pub fn execute_one(scenario: &Scenario, opts: ExecOptions) -> RunResult {
+    let topo = scenario.topology();
+    let nodes = topo.alive_node_count();
+    let mut runner = scenario.build_on(&topo);
+    runner.warmup(scenario.warmup);
+    runner.run(scenario.cycles);
+    let stats = runner.stats().clone();
+    let drained = opts.drain_budget.map(|budget| {
+        runner.halt_injection();
+        runner.run_until_drained(budget)
+    });
+    let deadlocked = runner.deadlocked_now();
+    let forensics = (opts.forensics && deadlocked)
+        .then(|| {
+            // The oracle already flags the wedge; one audited cycle makes
+            // the engine capture and store the report for take_forensics().
+            runner.run_until_deadlock(1, 1);
+            runner.take_forensics()
+        })
+        .flatten();
+    RunResult {
+        stats,
+        nodes,
+        deadlocked,
+        drained,
+        forensics,
+    }
+}
+
+/// Run every `SweepRun` across `jobs` workers and collect one
+/// [`ScenarioRecord`] per run (panics isolated into `Err` payloads).
+pub fn run_collect(runs: &[SweepRun], jobs: usize, opts: ExecOptions) -> Vec<ScenarioRecord> {
+    let mut records = Vec::with_capacity(runs.len());
+    pool::run_stream(
+        runs.iter().collect::<Vec<&SweepRun>>(),
+        jobs,
+        &|_, run: &SweepRun| execute_one(&run.scenario, opts),
+        |i, result| {
+            records.push(ScenarioRecord {
+                index: i as u32,
+                result,
+            });
+        },
+    );
+    records
+}
+
+/// Expand a spec, execute the grid on `jobs` workers, and aggregate.
+/// The output is byte-identical (after [`SweepReport::to_json`]) for any
+/// `jobs` value — `jobs == 1` is the inline sequential reference path.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<SweepReport, SpecError> {
+    run_sweep_with(spec, jobs, ExecOptions::default())
+}
+
+/// [`run_sweep`] with explicit execution options.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: ExecOptions,
+) -> Result<SweepReport, SpecError> {
+    let runs = spec.expand()?;
+    let records = run_collect(&runs, jobs, opts);
+    Ok(aggregate(&spec.name, spec.accept, &runs, records))
+}

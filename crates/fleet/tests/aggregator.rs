@@ -1,0 +1,196 @@
+//! The aggregator's determinism contract, tested without running any
+//! simulations: records fed in any completion order produce byte-identical
+//! reports, and degenerate groups (nothing completed) surface as shortfall
+//! rows instead of silently vanishing or poisoning averages.
+
+use sb_fleet::{aggregate, RunResult, ScenarioRecord, SweepSpec};
+use sb_sim::Stats;
+
+/// A deterministic synthetic result for expansion index `i` — distinct
+/// per index so reordering mistakes cannot cancel out.
+fn synthetic_result(i: u32) -> RunResult {
+    let mut stats = Stats::default();
+    stats.cycles = 1_000 + i as u64;
+    stats.offered_packets = 500 + 13 * i as u64;
+    stats.offered_flits = stats.offered_packets * 5;
+    stats.injected_packets = stats.offered_packets;
+    stats.delivered_packets = 400 + 7 * i as u64;
+    stats.delivered_flits = stats.delivered_packets * 5;
+    stats.latency_sum = stats.delivered_packets * (20 + i as u64 % 9);
+    stats.latency_max = 100 + i as u64;
+    stats.deadlocks_recovered = i as u64 % 3;
+    RunResult {
+        stats,
+        nodes: 64,
+        deadlocked: i.is_multiple_of(7),
+        drained: None,
+        forensics: None,
+    }
+}
+
+/// A small but multi-axis grid: 2 designs × 2 rates × 3 seeds = 12 runs,
+/// 4 groups, 2 series.
+fn grid() -> SweepSpec {
+    let mut spec = SweepSpec::new("agg-grid");
+    spec.meshes = vec!["4x4".into()];
+    spec.designs = vec!["sp-tree".into(), "static-bubble".into()];
+    spec.rates = vec![0.05, 0.2];
+    spec.seeds = vec![1, 2, 3];
+    spec
+}
+
+/// Multiplicative LCG permutation walk — deterministic shuffles without
+/// pulling in an RNG.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn report_is_independent_of_completion_order() {
+    let spec = grid();
+    let runs = spec.expand().unwrap();
+    let records: Vec<ScenarioRecord> = (0..runs.len() as u32)
+        .map(|i| ScenarioRecord {
+            index: i,
+            result: if i == 5 {
+                Err("synthetic worker panic".to_string())
+            } else {
+                Ok(synthetic_result(i))
+            },
+        })
+        .collect();
+
+    let reference = aggregate(&spec.name, spec.accept, &runs, records.clone())
+        .to_json()
+        .unwrap();
+    for seed in 1..=20u64 {
+        let mut permuted = records.clone();
+        shuffle(&mut permuted, seed);
+        let report = aggregate(&spec.name, spec.accept, &runs, permuted)
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            report, reference,
+            "aggregate output changed under completion-order shuffle (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn sample_stats_match_hand_computation() {
+    let spec = grid();
+    let runs = spec.expand().unwrap();
+    let records: Vec<ScenarioRecord> = (0..runs.len() as u32)
+        .map(|i| ScenarioRecord {
+            index: i,
+            result: Ok(synthetic_result(i)),
+        })
+        .collect();
+    let report = aggregate(&spec.name, spec.accept, &runs, records);
+    assert_eq!(report.total_runs, 12);
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.points.len(), 4);
+    assert_eq!(report.saturation.len(), 2);
+    assert!(report.shortfall.is_empty());
+    assert!(report.failed.is_empty());
+
+    // First group = indices 0..3 (sp-tree, rate 0.05, seeds 1..3).
+    let p = &report.points[0];
+    assert_eq!((p.expected, p.completed), (3, 3));
+    let thr: Vec<f64> = (0..3)
+        .map(|i| synthetic_result(i).stats.throughput(64))
+        .collect();
+    let mean = thr.iter().sum::<f64>() / 3.0;
+    assert!((p.throughput.mean.unwrap() - mean).abs() < 1e-12);
+    assert_eq!(p.throughput.n, 3);
+    assert_eq!(
+        p.throughput.min.unwrap(),
+        thr.iter().cloned().fold(f64::INFINITY, f64::min)
+    );
+    assert_eq!(
+        p.throughput.max.unwrap(),
+        thr.iter().cloned().fold(0.0, f64::max)
+    );
+    // Merged window is the sum of the three member windows.
+    assert_eq!(
+        p.merged.delivered_packets,
+        (0..3)
+            .map(|i| synthetic_result(i).stats.delivered_packets)
+            .sum::<u64>()
+    );
+    // Degenerate sample: one value has no spread.
+    let single = sb_fleet::SampleStats::from_samples(&[2.5]);
+    assert_eq!(single.n, 1);
+    assert_eq!(single.mean, Some(2.5));
+    assert_eq!(single.stddev, None);
+    assert_eq!(single.p50, Some(2.5));
+    assert_eq!(single.p95, Some(2.5));
+}
+
+#[test]
+fn all_failed_group_becomes_shortfall_not_a_fake_average() {
+    let spec = grid();
+    let runs = spec.expand().unwrap();
+    // Group 0 (indices 0..3) fails entirely; index 4 fails partially.
+    let records: Vec<ScenarioRecord> = (0..runs.len() as u32)
+        .map(|i| ScenarioRecord {
+            index: i,
+            result: if i < 4 {
+                Err(format!("boom {i}"))
+            } else {
+                Ok(synthetic_result(i))
+            },
+        })
+        .collect();
+    let report = aggregate(&spec.name, spec.accept, &runs, records);
+    assert_eq!(report.completed, 8);
+    assert_eq!(report.failed.len(), 4);
+    assert_eq!(report.shortfall.len(), 2);
+    assert_eq!(report.shortfall[0].completed, 0);
+    assert_eq!(report.shortfall[0].expected, 3);
+    assert_eq!(report.shortfall[1].completed, 2);
+
+    // The empty point reports absence, not zeros.
+    let p0 = &report.points[0];
+    assert_eq!(p0.completed, 0);
+    assert_eq!(p0.latency.n, 0);
+    assert_eq!(p0.latency.mean, None);
+    assert_eq!(p0.throughput.mean, None);
+    assert_eq!(p0.merged.delivered_packets, 0);
+
+    // The series whose first rung vanished still gets a knee from the
+    // surviving rungs; low-load latency comes from the lowest *completed*
+    // rate.
+    let s0 = &report.saturation[0];
+    assert!(s0.knee_throughput.is_some());
+    assert_eq!(s0.low_load_latency, report.points[1].latency.mean);
+}
+
+#[test]
+fn missing_records_surface_as_failures() {
+    let spec = grid();
+    let runs = spec.expand().unwrap();
+    // Stream nothing at all: every run is reported failed, every group is
+    // a shortfall, and the report still serializes cleanly.
+    let report = aggregate(&spec.name, spec.accept, &runs, Vec::new());
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.failed.len(), 12);
+    assert_eq!(report.shortfall.len(), 4);
+    assert!(report.failed.iter().all(|f| f.error.contains("no result")));
+    for s in &report.saturation {
+        assert_eq!(s.knee_throughput, None);
+        assert_eq!(s.low_load_latency, None);
+    }
+    let json = report.to_json().unwrap();
+    let back = sb_fleet::SweepReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+}

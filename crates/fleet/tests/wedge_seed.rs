@@ -1,0 +1,122 @@
+//! Regression pin for the known unrecoverable wedge of the paper pipeline.
+//!
+//! The full-stack scenario (8×8 mesh, 12 link faults sampled with topology
+//! seed 99, Static Bubble at t_DD = 34 under uniform 0.18 load) recovers
+//! and drains for most simulation seeds, but a minority — pinned here as
+//! seeds 2 and 5 of 1..=12 — wedge in a deadlock the probe/latch protocol
+//! never resolves. The forensic signature is specific: every detector FSM
+//! is parked in `SDd`, probes circulate the wait-for cycle (the `sent`
+//! history shows the same hop sequence returning to its origin again and
+//! again), yet the latch condition `closes_cycle` — all VCs of the probe's
+//! arrival port occupied *and* the origin output wanted — never holds, so
+//! no FSM ever advances to `SDisable`/`SSbActive`. A known limitation of
+//! the recovery protocol under sustained multi-cycle congestion (see
+//! ROADMAP); these tests exist so a change in that behaviour — either a
+//! fix or a regression that widens the wedge set — is noticed, not
+//! discovered by a flaky CI run.
+//!
+//! `#[ignore]`d because each drain probe burns 200k cycles; run with
+//! `cargo test --release -p sb-fleet --test wedge_seed -- --ignored`.
+
+use sb_fleet::{execute_one, ExecOptions};
+use sb_scenario::{Design, FaultSpec, Scenario, TrafficSpec};
+use sb_sim::SimConfig;
+use sb_topology::FaultKind;
+
+/// Simulation seeds of the pipeline scenario that wedge unrecoverably
+/// (found by sweeping seeds 1..=12; see the module docs).
+const WEDGE_SEEDS: [u64; 2] = [2, 5];
+
+/// A seed adjacent to the wedged ones that recovers and drains — the
+/// control showing the pin is about the seed, not the scenario.
+const DRAINING_SEED: u64 = 1;
+
+/// The `paper_pipeline_end_to_end` scenario from `tests/full_stack.rs`,
+/// expressed through the scenario layer (same topology seed, same load,
+/// same window), parameterized over the simulation seed.
+fn pipeline_scenario(seed: u64) -> Scenario {
+    Scenario::new(format!("pipeline-wedge-s{seed}"), Design::StaticBubble)
+        .with_mesh(8, 8)
+        .with_faults(FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: 12,
+            seed: 99,
+        })
+        .with_traffic(TrafficSpec::Uniform {
+            rate: 0.18,
+            single_vnet: true,
+        })
+        .with_config(SimConfig::single_vnet())
+        .with_tdd(34)
+        .with_warmup(0)
+        .with_cycles(4_000)
+        .with_seed(seed)
+}
+
+const OPTS: ExecOptions = ExecOptions {
+    forensics: true,
+    drain_budget: Some(200_000),
+};
+
+#[test]
+#[ignore = "200k-cycle drain probes; run with --ignored --release"]
+fn pinned_wedge_seeds_stay_wedged_with_probes_but_no_latch() {
+    for seed in WEDGE_SEEDS {
+        let res = execute_one(&pipeline_scenario(seed), OPTS);
+        assert_eq!(
+            res.drained,
+            Some(false),
+            "seed {seed} drained — the wedge set changed; re-pin WEDGE_SEEDS"
+        );
+        assert!(res.deadlocked, "seed {seed}: undrained but not deadlocked");
+        assert!(
+            res.stats.deadlocks_recovered > 0,
+            "seed {seed}: the protocol should recover several deadlocks before the terminal one"
+        );
+
+        let f = res
+            .forensics
+            .expect("deadlocked run must capture forensics");
+        assert!(
+            f.deadlocked,
+            "seed {seed}: oracle verdict missing from report"
+        );
+        assert!(
+            !f.wait_cycle.is_empty(),
+            "seed {seed}: a wedged network must exhibit a concrete wait-for cycle"
+        );
+
+        // The signature: detectors saw the deadlock (probes in flight)...
+        let fsm_lines: Vec<&String> = f
+            .plugin_lines
+            .iter()
+            .filter(|l| l.starts_with("fsm "))
+            .collect();
+        assert!(
+            !fsm_lines.is_empty(),
+            "seed {seed}: no FSM state in forensics"
+        );
+        assert!(
+            f.plugin_lines.iter().any(|l| l.contains("Probe")),
+            "seed {seed}: no probe traffic in the special-message history"
+        );
+        // ...but closes_cycle never held: every FSM is still in detection,
+        // none latched into recovery (SDisable/SSbActive/SCheckProbe/SEnable).
+        for line in &fsm_lines {
+            assert!(
+                line.contains("SDd"),
+                "seed {seed}: FSM left detection — the wedge signature changed: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "200k-cycle drain probe; run with --ignored --release"]
+fn neighbouring_seed_recovers_and_drains() {
+    let res = execute_one(&pipeline_scenario(DRAINING_SEED), OPTS);
+    assert_eq!(res.drained, Some(true), "seed {DRAINING_SEED} must drain");
+    assert!(!res.deadlocked);
+    assert!(res.forensics.is_none(), "no forensics for a clean drain");
+    assert!(res.stats.deadlocks_recovered > 0);
+}

@@ -1,0 +1,96 @@
+//! Stable identities for scenarios inside a sweep.
+//!
+//! A sweep grid expands to many [`Scenario`]s; results stream back from
+//! worker threads in whatever order they finish, so every expanded scenario
+//! carries a [`ScenarioId`] the aggregator can key on. The id is *stable*:
+//! it depends only on the expansion order and the human-readable grid
+//! coordinates, never on scheduling. [`Scenario::fingerprint`] adds a
+//! content hash over the canonical JSON form — two specs with equal
+//! fingerprints describe byte-identical experiments (the future
+//! result-cache key of the simulation service, ROADMAP item 3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::Scenario;
+use crate::value::SpecError;
+
+/// Identity of one expanded scenario inside a sweep.
+///
+/// `index` is the position in the deterministic expansion order (the
+/// aggregator's sort key); `key` is the human-readable grid coordinate
+/// (`"8x8/links:12/t3/static-bubble/full/r0.18/s5"`) used in reports.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScenarioId {
+    /// Position in the expansion order; unique within one sweep.
+    pub index: u32,
+    /// Human-readable grid coordinate; unique within one sweep.
+    pub key: String,
+}
+
+impl ScenarioId {
+    /// Build an id from its expansion index and grid key.
+    pub fn new(index: u32, key: impl Into<String>) -> Self {
+        ScenarioId {
+            index,
+            key: key.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}", self.index, self.key)
+    }
+}
+
+/// FNV-1a over a byte string: tiny, dependency-free, stable across
+/// platforms. Not cryptographic — a cache/identity hash only.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Scenario {
+    /// Content hash over the canonical (JSON) form of this scenario: equal
+    /// fingerprints ⇒ byte-identical specs ⇒ (by the determinism contract)
+    /// identical results.
+    pub fn fingerprint(&self) -> Result<u64, SpecError> {
+        Ok(fnv1a(self.to_json()?.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Design;
+
+    #[test]
+    fn ids_order_by_index() {
+        let a = ScenarioId::new(0, "z");
+        let b = ScenarioId::new(1, "a");
+        assert!(a < b, "index dominates the ordering, not the key");
+        assert_eq!(format!("{a}"), "#0 z");
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let base = Scenario::new("fp", Design::StaticBubble);
+        let same = Scenario::new("fp", Design::StaticBubble);
+        assert_eq!(base.fingerprint().unwrap(), same.fingerprint().unwrap());
+        let other = base.clone().with_seed(base.seed + 1);
+        assert_ne!(base.fingerprint().unwrap(), other.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

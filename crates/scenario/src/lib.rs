@@ -32,6 +32,7 @@
 //! ```
 
 pub mod design;
+pub mod id;
 pub mod json;
 pub mod runner;
 pub mod spec;
@@ -39,6 +40,7 @@ pub mod toml;
 pub mod value;
 
 pub use design::{Design, RunOutcome, T_DD};
+pub use id::{fnv1a, ScenarioId};
 pub use runner::SimRunner;
 pub use sb_sim::ClockMode;
 pub use spec::{BubbleSpec, FaultSpec, Scenario, TrafficSpec};

@@ -22,8 +22,12 @@ pub trait SimRunner {
     fn warmup(&mut self, cycles: u64);
     /// Run `cycles` cycles.
     fn run(&mut self, cycles: u64);
-    /// Stop injection and run until the network empties (or `max_cycles`
-    /// elapse); `true` if it drained.
+    /// Close the injection tap for good: the traffic source is no longer
+    /// polled and counts as exhausted for [`SimRunner::run_until_drained`].
+    fn halt_injection(&mut self);
+    /// Run until the network empties (or `max_cycles` elapse); `true` if
+    /// it drained. Call [`SimRunner::halt_injection`] first when the
+    /// traffic source is open-loop (it never exhausts on its own).
     fn run_until_drained(&mut self, max_cycles: u64) -> bool;
     /// Measurement-window statistics.
     fn stats(&self) -> &Stats;
@@ -76,6 +80,10 @@ impl<P: Plugin + 'static, T: TrafficSource + 'static> SimRunner for Runner<P, T>
 
     fn run(&mut self, cycles: u64) {
         self.0.run(cycles);
+    }
+
+    fn halt_injection(&mut self) {
+        self.0.halt_injection();
     }
 
     fn run_until_drained(&mut self, max_cycles: u64) -> bool {

@@ -54,6 +54,10 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     full_scan: bool,
     /// Clock advance policy (see [`Simulator::set_clock`]).
     clock: ClockMode,
+    /// Injection tap: when closed ([`Simulator::halt_injection`]), the
+    /// traffic source is no longer polled and counts as exhausted for
+    /// [`Simulator::run_until_drained`].
+    injection_halted: bool,
     /// Audit cadence in cycles, 0 = off (see [`Simulator::set_audit`]).
     audit_every: u64,
     /// Cycles left until the next scheduled audit pass.
@@ -97,6 +101,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner,
             rng: StdRng::seed_from_u64(seed),
             full_scan: false,
+            injection_halted: false,
             clock: ClockMode::Step,
             audit_every: 0,
             audit_countdown: 0,
@@ -282,11 +287,21 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            injection_halted: self.injection_halted,
             clock: self.clock,
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
             last_forensics: self.last_forensics,
         }
+    }
+
+    /// Stop polling the traffic source for good: no further packets enter
+    /// the network, and [`Simulator::run_until_drained`] treats traffic as
+    /// exhausted. Equivalent to [`Simulator::replace_traffic`] with
+    /// [`crate::NoTraffic`], but usable behind `&mut` (and therefore
+    /// through a type-erased runner) because the traffic type stays put.
+    pub fn halt_injection(&mut self) {
+        self.injection_halted = true;
     }
 
     /// Swap the attached plugin, keeping all network state. Needed when a
@@ -306,6 +321,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             planner: self.planner,
             rng: self.rng,
             full_scan: self.full_scan,
+            injection_halted: self.injection_halted,
             clock: self.clock,
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
@@ -508,8 +524,10 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         if let Some(at) = self.core.next_wheel_event() {
             target = target.min(at);
         }
-        if let Some(at) = self.traffic.next_arrival(now) {
-            target = target.min(at);
+        if !self.injection_halted {
+            if let Some(at) = self.traffic.next_arrival(now) {
+                target = target.min(at);
+            }
         }
         if let Some(at) = self.plugin.next_timer(&self.core) {
             target = target.min(at);
@@ -566,7 +584,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     }
 
     fn drained(&self) -> bool {
-        self.traffic.exhausted() && self.core.in_flight() == 0 && self.core.queued() == 0
+        (self.injection_halted || self.traffic.exhausted())
+            && self.core.in_flight() == 0
+            && self.core.queued() == 0
     }
 
     /// Is the network deadlocked *right now* according to the oracle?
@@ -628,6 +648,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     // ------------------------------------------------------------------
 
     fn inject_traffic(&mut self) {
+        if self.injection_halted {
+            return;
+        }
         let t = self.core.time();
         let reqs = self
             .traffic

@@ -160,6 +160,52 @@ impl Stats {
     pub fn reset_measurement(&mut self) {
         *self = Stats::default();
     }
+
+    /// Fold another measurement window into this one, treating the two
+    /// windows as one long window: every counter adds, maxima take the max.
+    /// `cycles` add too, so ratio metrics ([`Stats::throughput`],
+    /// [`Stats::acceptance`]) of the merged value are the cycle-weighted
+    /// aggregates over both windows. Merging is commutative and associative,
+    /// which is what lets the sweep fleet aggregate worker results in
+    /// whatever order they complete.
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.offered_packets += other.offered_packets;
+        self.offered_flits += other.offered_flits;
+        self.injected_packets += other.injected_packets;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_flits += other.delivered_flits;
+        self.dropped_packets += other.dropped_packets;
+        self.dropped_flits += other.dropped_flits;
+        self.lost_packets += other.lost_packets;
+        self.lost_flits += other.lost_flits;
+        for v in 0..MAX_VNETS {
+            self.offered_packets_vnet[v] += other.offered_packets_vnet[v];
+            self.delivered_packets_vnet[v] += other.delivered_packets_vnet[v];
+            self.dropped_packets_vnet[v] += other.dropped_packets_vnet[v];
+            self.lost_packets_vnet[v] += other.lost_packets_vnet[v];
+        }
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.network_latency_sum += other.network_latency_sum;
+        self.movements += other.movements;
+        self.data_link_flits += other.data_link_flits;
+        self.data_router_flits += other.data_router_flits;
+        for c in 0..4 {
+            self.special_link_flits[c] += other.special_link_flits[c];
+        }
+        self.probes_sent += other.probes_sent;
+        self.deadlocks_recovered += other.deadlocks_recovered;
+    }
+
+    /// Merge an iterator of windows into one (see [`Stats::merge`]).
+    pub fn merged<'a>(windows: impl IntoIterator<Item = &'a Stats>) -> Stats {
+        let mut out = Stats::default();
+        for w in windows {
+            out.merge(w);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +241,48 @@ mod tests {
         for c in SpecialClass::ALL {
             assert!(seen.insert(c.index()));
         }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_maxima() {
+        let a = Stats {
+            cycles: 100,
+            delivered_packets: 10,
+            delivered_flits: 50,
+            offered_flits: 60,
+            latency_sum: 200,
+            latency_max: 40,
+            special_link_flits: [1, 2, 3, 4],
+            offered_packets_vnet: [5, 0, 0, 0, 0, 0, 0, 0],
+            ..Stats::default()
+        };
+        let b = Stats {
+            cycles: 50,
+            delivered_packets: 4,
+            delivered_flits: 20,
+            offered_flits: 20,
+            latency_sum: 100,
+            latency_max: 90,
+            special_link_flits: [10, 0, 0, 0],
+            offered_packets_vnet: [0, 7, 0, 0, 0, 0, 0, 0],
+            ..Stats::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, 150);
+        assert_eq!(m.delivered_packets, 14);
+        assert_eq!(m.latency_max, 90);
+        assert_eq!(m.special_link_flits, [11, 2, 3, 4]);
+        assert_eq!(m.offered_packets_vnet[..2], [5, 7]);
+        // Ratio metrics are the cycle-weighted aggregate.
+        assert!((m.acceptance() - 70.0 / 80.0).abs() < 1e-12);
+        // Commutative.
+        let mut n = b.clone();
+        n.merge(&a);
+        assert_eq!(m, n);
+        // merged() over a slice agrees with pairwise folding.
+        assert_eq!(Stats::merged([&a, &b]), m);
+        assert_eq!(Stats::merged([] as [&Stats; 0]), Stats::default());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod prelude {
 }
 
 pub use sb_energy as energy;
+pub use sb_fleet as fleet;
 pub use sb_routing as routing;
 pub use sb_scenario as scenario;
 pub use sb_sim as sim;

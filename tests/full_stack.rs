@@ -45,10 +45,12 @@ fn paper_pipeline_end_to_end() {
 
     // Runtime: Static Bubble at a deadlock-prone load, then drain clean.
     // The seed is chosen to exercise real recoveries AND drain: a minority
-    // of seeds (~2/12) wedge this scenario in a deadlock the probe/latch
-    // recovery never closes — a known limitation of the recovery protocol
-    // under sustained multi-cycle congestion (see ROADMAP), independent of
-    // the engine's data layout.
+    // of seeds (2 and 5 of 1..=12) wedge this scenario in a deadlock the
+    // probe/latch recovery never closes — a known limitation of the
+    // recovery protocol under sustained multi-cycle congestion (see
+    // ROADMAP), independent of the engine's data layout. Those seeds are
+    // pinned with their forensic signature in
+    // `crates/fleet/tests/wedge_seed.rs`.
     let cfg = SimConfig::single_vnet();
     let mut sim = Simulator::with_bubbles(
         &topo,
