@@ -8,8 +8,8 @@
 //! the pre-fleet version did) patched onto the expanded runs before they
 //! fan out over the pool.
 
-use sb_bench::{sweep::default_threads, Args, Design, Table};
-use sb_fleet::{aggregate, run_collect, ExecOptions, SweepSpec};
+use sb_bench::{cache_from_args, sample_seeds, sweep::default_threads, Args, Design, Table};
+use sb_fleet::{aggregate, run_records, ExecOptions, SweepSpec};
 use sb_sim::SpecialClass;
 
 fn main() {
@@ -33,9 +33,7 @@ fn main() {
     // The same topology batch `FaultModel::sample_topologies(mesh,
     // 0x00AB_1A7E, topos)` drew before the fleet port: per-sample seeds are
     // derived the same way and fed through `FaultSpec::Model`.
-    let topo_seeds: Vec<u64> = (0..topos as u64)
-        .map(|i| 0x00AB_1A7E ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
-        .collect();
+    let topo_seeds = sample_seeds(0x00AB_1A7E, topos);
 
     let mut spec = SweepSpec::new("ablation");
     spec.meshes = vec!["8x8".into()];
@@ -55,7 +53,11 @@ fn main() {
     for (i, run) in runs.iter_mut().enumerate() {
         run.scenario.seed = 700 + (i / variants.len()) as u64;
     }
-    let records = run_collect(&runs, jobs, ExecOptions::default());
+    let cache = cache_from_args(&args);
+    let (records, acct) = run_records(&spec.name, &runs, jobs, ExecOptions::default(), &cache);
+    if cache.dir.is_some() {
+        eprintln!("{}", acct.to_json_line());
+    }
     let report = aggregate(&spec.name, spec.accept, &runs, records);
     assert!(
         report.failed.is_empty(),

@@ -1,11 +1,37 @@
 //! **Fig. 10** — average network energy breakdown (link/router ×
 //! dynamic/leakage) for the three designs at 2 / 7 / 15 / 30
 //! faulty/power-gated routers, uniform-random traffic at medium load.
+//!
+//! A fleet client: the fault-count × topology × design grid expands from
+//! one-point [`SweepSpec`]s (historical `sample_topologies` seeds on the
+//! topology axis, simulation seed `300 + topology index` patched per run)
+//! and fans out over the pool / result cache. Energy pricing is
+//! simulation-free — the hardware inventory comes from the rematerialized
+//! topology — so it stays client-side, applied to the returned stats.
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Table};
+use sb_bench::{fleet_results, sample_seeds, Args, Design, Table};
 use sb_energy::EnergyModel;
-use sb_sim::{SimConfig, UniformTraffic};
-use sb_topology::{FaultKind, FaultModel, Mesh};
+use sb_fleet::{merge_runs, SweepRun, SweepSpec};
+use sb_sim::SimConfig;
+
+fn batch(faults: usize, args: &Args) -> Vec<SweepRun> {
+    let topos = args.get_usize("topos", 8);
+    let mut spec = SweepSpec::new("fig10");
+    spec.link_faults = vec![];
+    spec.router_faults = vec![faults];
+    spec.topo_seeds = sample_seeds(0xF16_0010 + faults as u64, topos);
+    spec.designs = Design::ALL.iter().map(|d| d.label().to_string()).collect();
+    spec.rates = vec![args.get_f64("rate", 0.08)];
+    spec.seeds = vec![0]; // placeholder; patched per topology below
+    spec.warmup = 1_000;
+    spec.cycles = args.get_u64("cycles", 6_000);
+    // Expansion order: topo_seed → design → rate → seed.
+    let mut runs = spec.expand().expect("fig10 grid");
+    for (j, run) in runs.iter_mut().enumerate() {
+        run.scenario.seed = 300 + (j / Design::ALL.len()) as u64;
+    }
+    runs
+}
 
 fn main() {
     let args = Args::parse_spec(
@@ -19,11 +45,16 @@ fn main() {
         ],
     );
     let topos = args.get_usize("topos", 8);
-    let cycles = args.get_u64("cycles", 6_000);
-    let rate = args.get_f64("rate", 0.08);
-    let mesh = Mesh::new(8, 8);
     let model = EnergyModel::dsent_32nm();
-    let threads = default_threads(&args);
+
+    let fault_points = [2usize, 7, 15, 30];
+    let batches: Vec<(String, Vec<SweepRun>)> = fault_points
+        .iter()
+        .map(|&faults| (String::new(), batch(faults, &args)))
+        .collect();
+    let cell_sizes: Vec<usize> = batches.iter().map(|(_, b)| b.len()).collect();
+    let runs = merge_runs(batches).expect("fig10 cells have distinct keys");
+    let results = fleet_results("fig10", &runs, &args);
 
     let mut table = Table::new(
         "Fig. 10: avg network energy (pJ, normalized to sp-tree total at each fault count)",
@@ -37,35 +68,39 @@ fn main() {
             "total_norm",
         ],
     );
-
-    for &faults in &[2usize, 7, 15, 30] {
-        let fm = FaultModel::new(FaultKind::Routers, faults);
-        let batch = fm.sample_topologies(mesh, 0xF16_0010 + faults as u64, topos);
-        let per_design = parallel_map(Design::ALL.to_vec(), threads.min(3), |&d| {
-            let mut sum = sb_energy::EnergyBreakdown::default();
-            for (i, topo) in batch.iter().enumerate() {
-                let out = d.run(
-                    topo,
-                    SimConfig::single_vnet(),
-                    UniformTraffic::new(rate).single_vnet(),
-                    300 + i as u64,
-                    1_000,
-                    cycles,
-                );
-                let b = model.price(&out.stats, out.cost);
-                sum.router_dynamic += b.router_dynamic;
-                sum.link_dynamic += b.link_dynamic;
-                sum.router_leakage += b.router_leakage;
-                sum.link_leakage += b.link_leakage;
-            }
-            let n = batch.len() as f64;
-            sb_energy::EnergyBreakdown {
-                router_dynamic: sum.router_dynamic / n,
-                link_dynamic: sum.link_dynamic / n,
-                router_leakage: sum.router_leakage / n,
-                link_leakage: sum.link_leakage / n,
-            }
-        });
+    let mut offset = 0usize;
+    for (&faults, &size) in fault_points.iter().zip(&cell_sizes) {
+        let cell = offset..offset + size;
+        offset += size;
+        let per_design: Vec<sb_energy::EnergyBreakdown> = Design::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| {
+                let mut sum = sb_energy::EnergyBreakdown::default();
+                for topo_idx in 0..topos {
+                    let i = cell.start + topo_idx * Design::ALL.len() + k;
+                    let res = results[i]
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("fig10 run failed: {e}"));
+                    // The inventory the pricing needs is a pure function of
+                    // (design, topology); the topology rematerializes from
+                    // the run's own spec.
+                    let topo = runs[i].scenario.topology();
+                    let b = model.price(&res.stats, d.cost(&topo, SimConfig::single_vnet()));
+                    sum.router_dynamic += b.router_dynamic;
+                    sum.link_dynamic += b.link_dynamic;
+                    sum.router_leakage += b.router_leakage;
+                    sum.link_leakage += b.link_leakage;
+                }
+                let n = topos as f64;
+                sb_energy::EnergyBreakdown {
+                    router_dynamic: sum.router_dynamic / n,
+                    link_dynamic: sum.link_dynamic / n,
+                    router_leakage: sum.router_leakage / n,
+                    link_leakage: sum.link_leakage / n,
+                }
+            })
+            .collect();
         let sp_total = per_design[0].total();
         for (d, b) in Design::ALL.iter().zip(&per_design) {
             table.row(&[

@@ -1,10 +1,37 @@
 //! **Fig. 11** — deadlock-detection threshold (`t_DD`) sweep at high load
 //! with 20 router faults: probes sent over 10K cycles, link utilization per
 //! message class, and average packet latency.
+//!
+//! A fleet client: the scalar-array [`SweepSpec`] has no `t_DD` axis, so
+//! the sweep is one single-`t_DD` spec per rung merged into one grid
+//! ([`merge_runs`], batch labels `tdd5`…`tdd100`), with the historical
+//! topology seeds and per-topology simulation seeds (`400 + index`)
+//! restored onto the expanded runs. Per-class link utilization needs the
+//! alive-link count, which rematerializes from each run's own spec.
 
-use sb_bench::{parallel_map, sweep::default_threads, Args, Design, Scenario, Table};
+use sb_bench::{fleet_results, sample_seeds, Args, Design, Table};
+use sb_fleet::{merge_runs, SweepRun, SweepSpec};
 use sb_sim::SpecialClass;
-use sb_topology::{FaultKind, FaultModel, Mesh};
+
+fn batch(tdd: u64, args: &Args) -> Vec<SweepRun> {
+    let topos = args.get_usize("topos", 8);
+    let mut spec = SweepSpec::new("fig11");
+    spec.link_faults = vec![];
+    spec.router_faults = vec![20];
+    spec.topo_seeds = sample_seeds(0xF16_0011, topos);
+    spec.designs = vec![Design::StaticBubble.label().to_string()];
+    spec.rates = vec![args.get_f64("rate", 0.30)];
+    spec.seeds = vec![0]; // placeholder; patched per topology below
+    spec.warmup = 0;
+    spec.cycles = args.get_u64("cycles", 10_000);
+    spec.tdd = tdd;
+    // One design × one rate × one seed: run `j` IS topology `j`.
+    let mut runs = spec.expand().expect("fig11 grid");
+    for (j, run) in runs.iter_mut().enumerate() {
+        run.scenario.seed = 400 + j as u64;
+    }
+    runs
+}
 
 fn main() {
     let args = Args::parse_spec(
@@ -18,15 +45,15 @@ fn main() {
         ],
     );
     let topos = args.get_usize("topos", 8);
-    let cycles = args.get_u64("cycles", 10_000);
-    let rate = args.get_f64("rate", 0.30);
-    let mesh = Mesh::new(8, 8);
-    let threads = default_threads(&args);
-
-    let fm = FaultModel::new(FaultKind::Routers, 20);
-    let batch = fm.sample_topologies(mesh, 0xF16_0011, topos);
 
     let tdds = [5u64, 10, 20, 34, 60, 100];
+    let batches: Vec<(String, Vec<SweepRun>)> = tdds
+        .iter()
+        .map(|&tdd| (format!("tdd{tdd}"), batch(tdd, &args)))
+        .collect();
+    let runs = merge_runs(batches).expect("fig11 rungs are label-namespaced");
+    let results = fleet_results("fig11", &runs, &args);
+
     let mut table = Table::new(
         "Fig. 11: t_DD sweep (SB, 20 router faults, high load, 10K cycles)",
         &[
@@ -41,58 +68,47 @@ fn main() {
             "recovered",
         ],
     );
-
-    let rows = parallel_map(tdds.to_vec(), threads, |&tdd| {
+    for (t, &tdd) in tdds.iter().enumerate() {
         let mut probes = 0.0;
         let mut util = [0.0f64; 4];
         let mut flit_util = 0.0;
         let mut lat = 0.0;
         let mut lat_n = 0usize;
         let mut recovered = 0u64;
-        for (i, topo) in batch.iter().enumerate() {
-            let links = topo.alive_links().count() * 2;
-            let out = Scenario::new("fig11", Design::StaticBubble)
-                .with_rate(rate)
-                .with_seed(400 + i as u64)
-                .with_warmup(0)
-                .with_cycles(cycles)
-                .with_tdd(tdd)
-                .run_on(topo);
-            probes += out.stats.probes_sent as f64;
-            recovered += out.stats.deadlocks_recovered;
+        for topo_idx in 0..topos {
+            let i = t * topos + topo_idx;
+            let res = results[i]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("fig11 run failed: {e}"));
+            let links = runs[i].scenario.topology().alive_links().count() * 2;
+            probes += res.stats.probes_sent as f64;
+            recovered += res.stats.deadlocks_recovered;
             for c in SpecialClass::ALL {
-                util[c.index()] += 100.0 * out.stats.special_link_utilization(c, links);
+                util[c.index()] += 100.0 * res.stats.special_link_utilization(c, links);
             }
-            flit_util += 100.0 * out.stats.data_link_utilization(links);
-            if let Some(l) = out.stats.avg_latency() {
+            flit_util += 100.0 * res.stats.data_link_utilization(links);
+            if let Some(l) = res.stats.avg_latency() {
                 lat += l;
                 lat_n += 1;
             }
         }
-        let n = batch.len() as f64;
-        (
-            tdd,
-            probes / n,
-            [util[0] / n, util[1] / n, util[2] / n, util[3] / n],
-            flit_util / n,
-            if lat_n > 0 {
-                lat / lat_n as f64
-            } else {
-                f64::NAN
-            },
-            recovered,
-        )
-    });
-    for (tdd, probes, util, flit_util, lat, recovered) in rows {
+        let n = topos as f64;
         table.row(&[
             tdd.to_string(),
-            format!("{probes:.0}"),
-            format!("{:.2}", util[SpecialClass::Probe.index()]),
-            format!("{:.2}", util[SpecialClass::Disable.index()]),
-            format!("{:.2}", util[SpecialClass::CheckProbe.index()]),
-            format!("{:.2}", util[SpecialClass::Enable.index()]),
-            format!("{flit_util:.1}"),
-            format!("{lat:.1}"),
+            format!("{:.0}", probes / n),
+            format!("{:.2}", util[SpecialClass::Probe.index()] / n),
+            format!("{:.2}", util[SpecialClass::Disable.index()] / n),
+            format!("{:.2}", util[SpecialClass::CheckProbe.index()] / n),
+            format!("{:.2}", util[SpecialClass::Enable.index()] / n),
+            format!("{:.1}", flit_util / n),
+            format!(
+                "{:.1}",
+                if lat_n > 0 {
+                    lat / lat_n as f64
+                } else {
+                    f64::NAN
+                }
+            ),
             recovered.to_string(),
         ]);
     }

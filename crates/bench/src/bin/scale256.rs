@@ -1,9 +1,19 @@
 //! **Scale check** — the paper's 256-core design point: 89 static bubbles
 //! on a 16×16 mesh (Table I), with recovery exercised at deadlock-prone
 //! load on regular and irregular instances.
+//!
+//! A fleet client: the three topology instances × three designs expand
+//! from one [`SweepSpec`] (fault points `links:0`, `links:30`,
+//! `routers:20`, all drawn with seed 256) and run through the pool and the
+//! content-addressed result cache. The pre-fleet version drew the two
+//! faulted instances from one *shared* RNG stream, which no serialized
+//! spec can address; they are now independent `FaultSpec::Model` draws
+//! from the same seed, so the sampled instances (and their numbers) differ
+//! from pre-fleet output while everything is reproducible from the spec.
 
-use sb_bench::{Args, Design, Scenario, Table};
-use sb_topology::{FaultKind, FaultModel, Mesh, Topology};
+use sb_bench::{fleet_results, Args, Design, Table};
+use sb_fleet::SweepSpec;
+use sb_topology::Mesh;
 use static_bubble::placement;
 
 fn main() {
@@ -22,6 +32,20 @@ fn main() {
         placement::coverage_holds(mesh)
     );
 
+    let mut spec = SweepSpec::new("scale256");
+    spec.meshes = vec!["16x16".into()];
+    spec.link_faults = vec![0, 30];
+    spec.router_faults = vec![20];
+    spec.topo_seeds = vec![256];
+    spec.designs = Design::ALL.iter().map(|d| d.label().to_string()).collect();
+    spec.rates = vec![rate];
+    spec.seeds = vec![1];
+    spec.warmup = 1_000;
+    spec.cycles = cycles;
+    // Expansion order: fault point → design; three designs per instance.
+    let runs = spec.expand().expect("scale256 grid");
+    let results = fleet_results("scale256", &runs, &args);
+
     let mut table = Table::new(
         "256-core: throughput and recovery at deadlock-prone load",
         &[
@@ -33,37 +57,20 @@ fn main() {
             "recovered",
         ],
     );
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(256);
-    let topologies = [
-        ("full".to_string(), Topology::full(mesh)),
-        (
-            "30-link-faults".to_string(),
-            FaultModel::new(FaultKind::Links, 30).inject(mesh, &mut rng),
-        ),
-        (
-            "20-router-faults".to_string(),
-            FaultModel::new(FaultKind::Routers, 20).inject(mesh, &mut rng),
-        ),
-    ];
-    let base = Scenario::new("scale256", Design::StaticBubble)
-        .with_mesh(16, 16)
-        .with_rate(rate)
-        .with_seed(1)
-        .with_warmup(1_000)
-        .with_cycles(cycles);
-    for (name, topo) in &topologies {
-        for d in Design::ALL {
-            let out = base.clone().with_design(d).run_on(topo);
-            table.row(&[
-                name.clone(),
-                d.label().to_string(),
-                format!("{:.3}", out.stats.throughput(topo.alive_node_count())),
-                format!("{:.1}", out.stats.avg_latency().unwrap_or(f64::NAN)),
-                out.stats.probes_sent.to_string(),
-                out.stats.deadlocks_recovered.to_string(),
-            ]);
-        }
+    let names = ["full", "30-link-faults", "20-router-faults"];
+    for (i, res) in results.iter().enumerate() {
+        let res = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("scale256 run failed: {e}"));
+        let d = runs[i].scenario.design;
+        table.row(&[
+            names[i / Design::ALL.len()].to_string(),
+            d.label().to_string(),
+            format!("{:.3}", res.stats.throughput(res.nodes)),
+            format!("{:.1}", res.stats.avg_latency().unwrap_or(f64::NAN)),
+            res.stats.probes_sent.to_string(),
+            res.stats.deadlocks_recovered.to_string(),
+        ]);
     }
     table.print();
     if let Some(path) = args.get_str("csv") {

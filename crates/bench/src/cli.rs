@@ -43,8 +43,10 @@ pub struct Args {
 
 /// Keys every experiment binary accepts without declaring them. `--jobs`
 /// is the fleet-era spelling of `--threads`; both feed
-/// [`crate::sweep::default_threads`].
-const BUILTIN_KEYS: &[&str] = &["jobs", "threads", "help"];
+/// [`crate::sweep::default_threads`]. `--cache-dir` points the fleet's
+/// content-addressed result cache at a directory
+/// ([`crate::sweep::cache_from_args`]).
+const BUILTIN_KEYS: &[&str] = &["jobs", "threads", "cache-dir", "help"];
 
 impl Args {
     /// Strictly parse the process arguments against a declared knob list.
@@ -115,7 +117,8 @@ impl Args {
         }
         s.push_str(
             "    --jobs         worker threads; 1 = sequential (default: available cores)\n    \
-             --threads      legacy alias for --jobs\n    --help\n",
+             --threads      legacy alias for --jobs\n    \
+             --cache-dir    memoize simulation results in this directory\n    --help\n",
         );
         s
     }

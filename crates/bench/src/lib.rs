@@ -21,5 +21,8 @@ pub mod table;
 pub use cli::{ArgError, Args};
 pub use sb_scenario::design;
 pub use sb_scenario::{Design, RunOutcome, Scenario};
-pub use sweep::{parallel_map, sample_topologies_filtered, saturation_throughput, SweepPoint};
+pub use sweep::{
+    cache_from_args, fleet_results, parallel_map, sample_seeds, sample_topologies_filtered,
+    saturation_throughput, SweepPoint,
+};
 pub use table::Table;

@@ -73,6 +73,58 @@ pub fn default_threads(args: &crate::Args) -> usize {
     args.get_usize("jobs", args.get_usize("threads", auto))
 }
 
+/// The fleet cache configuration selected by `--cache-dir` (a builtin knob
+/// of every experiment binary): memoize simulation results there when
+/// given, run in-process-only otherwise.
+pub fn cache_from_args(args: &crate::Args) -> sb_fleet::CacheConfig {
+    match args.get_str("cache-dir") {
+        Some(dir) => sb_fleet::CacheConfig::dir(dir),
+        None => sb_fleet::CacheConfig::none(),
+    }
+}
+
+/// Execute pre-built fleet runs through the content-addressed servicing
+/// layer ([`sb_fleet::run_records`]) and return one result per run **in
+/// expansion order**. Honors `--jobs` and `--cache-dir`; when a cache
+/// directory is in play the servicing accounting is printed to stderr as
+/// one JSON line (never to stdout — the tables own stdout).
+pub fn fleet_results(
+    name: &str,
+    runs: &[sb_fleet::SweepRun],
+    args: &crate::Args,
+) -> Vec<Result<sb_fleet::RunResult, String>> {
+    let cache = cache_from_args(args);
+    let (records, acct) = sb_fleet::run_records(
+        name,
+        runs,
+        default_threads(args),
+        sb_fleet::ExecOptions::default(),
+        &cache,
+    );
+    if cache.dir.is_some() {
+        eprintln!("{}", acct.to_json_line());
+    }
+    let mut slots: Vec<Option<Result<sb_fleet::RunResult, String>>> =
+        (0..runs.len()).map(|_| None).collect();
+    for rec in records {
+        slots[rec.index as usize] = Some(rec.result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every run serviced exactly once"))
+        .collect()
+}
+
+/// The per-sample fault seeds `FaultModel::sample_topologies(mesh,
+/// base_seed, samples)` derives internally, exposed so figure grids can
+/// reproduce the historical topology batches through serialized
+/// [`sb_scenario::FaultSpec::Model`] specs (one seed per sample).
+pub fn sample_seeds(base_seed: u64, samples: usize) -> Vec<u64> {
+    (0..samples as u64)
+        .map(|i| base_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+        .collect()
+}
+
 /// Find the saturation throughput of `design` on `topo`: sweep the offered
 /// rate ladder and return the highest *delivered* flits/node/cycle among
 /// rates the network sustains (acceptance ≥ `accept`), i.e. the knee of the
@@ -154,6 +206,19 @@ mod tests {
             sample_topologies_filtered(mesh, FaultKind::Links, 4, 5, 42, |_| false);
         assert!(topos.is_empty());
         assert_eq!(attempts, 40, "gave up only after the full 8x budget");
+    }
+
+    #[test]
+    fn sample_seeds_reproduce_sample_topologies() {
+        use rand::SeedableRng;
+        let mesh = Mesh::new(8, 8);
+        let model = FaultModel::new(FaultKind::Links, 12);
+        let batch = model.sample_topologies(mesh, 0xF16_0008 + 12, 4);
+        let via_seeds: Vec<Topology> = sample_seeds(0xF16_0008 + 12, 4)
+            .into_iter()
+            .map(|s| model.inject(mesh, &mut rand::rngs::StdRng::seed_from_u64(s)))
+            .collect();
+        assert_eq!(batch, via_seeds);
     }
 
     #[test]

@@ -22,8 +22,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::spec::SweepRun;
 
-/// Everything a worker reports for one completed scenario.
-#[derive(Debug, Clone, PartialEq)]
+/// Everything a worker reports for one completed scenario. Serializable
+/// because this is exactly what the content-addressed result cache
+/// memoizes on disk (`crate::cache`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Measurement-window statistics (captured before any drain probe).
     pub stats: Stats,
@@ -194,6 +196,12 @@ pub struct SweepReport {
     pub accept: f64,
     /// Total expanded runs.
     pub total_runs: usize,
+    /// Distinct scenario *contents* among the expanded runs (by
+    /// [`sb_scenario::Scenario::content_fingerprint`]): the number of
+    /// simulations the fleet's in-process dedup actually needs, versus
+    /// `total_runs` requested. A pure function of the grid — byte-identical
+    /// between a cold and a warm (fully cached) execution of the same spec.
+    pub unique_scenarios: usize,
     /// Runs that completed.
     pub completed: usize,
     /// Per-scenario rows, in expansion order.
@@ -235,6 +243,20 @@ pub fn aggregate(
             by_index.insert(rec.index, rec.result);
         }
     }
+
+    // Run accounting: how many distinct scenario contents the grid asked
+    // for. Derived from the runs (not from how they were serviced), so the
+    // figure is identical whether results came from simulation, in-process
+    // dedup or the disk cache. A spec that cannot fingerprint (unreachable
+    // in practice) counts as unique.
+    let mut contents: Vec<u64> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, run)| run.scenario.content_fingerprint().unwrap_or(i as u64))
+        .collect();
+    contents.sort_unstable();
+    contents.dedup();
+    let unique_scenarios = contents.len();
 
     // Group and series membership in expansion (first-seen) order.
     let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
@@ -395,6 +417,7 @@ pub fn aggregate(
         name: name.to_string(),
         accept,
         total_runs: runs.len(),
+        unique_scenarios,
         completed: completed_total,
         scenarios,
         points,

@@ -2,13 +2,17 @@
 //! link faults, spanning-tree baseline vs Static Bubble) sequentially and
 //! in parallel, assert the two reports are byte-identical and nonempty,
 //! and — on runners with ≥ 4 cores — assert the parallel run is at least
-//! 2× faster. Prints a one-line JSON timing record for the benchmark log.
+//! 2× faster. Then run the same grid cold and warm through a scratch
+//! cache directory and assert the warm re-run performs **zero**
+//! simulations while reproducing the same report bytes — the determinism
+//! dividend, timed. Prints a one-line JSON timing record for the
+//! benchmark log.
 //!
 //! Exit code 0 = all assertions held.
 
 use std::time::Instant;
 
-use sb_fleet::{run_sweep, SweepSpec};
+use sb_fleet::{run_sweep, run_sweep_cached, CacheConfig, ExecOptions, SweepSpec};
 
 fn main() {
     let mut spec = SweepSpec::new("fleet-smoke-fig12");
@@ -53,10 +57,49 @@ fn main() {
         "no traffic delivered anywhere in the smoke grid"
     );
 
+    // Cache axis: cold populate, then a warm re-run that must simulate
+    // nothing and still emit identical bytes.
+    let cache_dir = std::env::temp_dir().join(format!("sb-fleet-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let opts = ExecOptions::default();
+    let (cold, cold_acct) = run_sweep_cached(&spec, jobs, opts, &CacheConfig::dir(&cache_dir))
+        .expect("cold cached sweep");
+    assert_eq!(
+        cold.to_json().expect("serialize"),
+        seq_json,
+        "populating the cache must not change the report"
+    );
+    assert_eq!(cold_acct.simulated, cold_acct.unique_scenarios);
+    let t2 = Instant::now();
+    let (warm, warm_acct) = run_sweep_cached(&spec, jobs, opts, &CacheConfig::resume(&cache_dir))
+        .expect("warm cached sweep");
+    let warm_secs = t2.elapsed().as_secs_f64();
+    assert_eq!(warm_acct.simulated, 0, "warm cache must not simulate");
+    assert_eq!(warm_acct.disk_hits, warm_acct.unique_scenarios);
+    assert_eq!(
+        warm_acct.journal_resumed, warm_acct.unique_scenarios,
+        "the resume journal must replay the whole grid"
+    );
+    assert_eq!(
+        warm.to_json().expect("serialize"),
+        seq_json,
+        "warm report must be byte-identical to the cold one"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let speedup = seq_secs / par_secs.max(1e-9);
+    let warm_speedup = seq_secs / warm_secs.max(1e-9);
     println!(
-        "{{\"bench\":\"fleet\",\"runs\":{},\"jobs\":{},\"cores\":{},\"seq_secs\":{:.3},\"par_secs\":{:.3},\"speedup\":{:.2}}}",
-        seq.total_runs, jobs, cores, seq_secs, par_secs, speedup
+        "{{\"bench\":\"fleet\",\"runs\":{},\"jobs\":{},\"cores\":{},\"seq_secs\":{:.3},\"par_secs\":{:.3},\"speedup\":{:.2},\"warm_secs\":{:.3},\"warm_speedup\":{:.1},\"warm_simulated\":{}}}",
+        seq.total_runs,
+        jobs,
+        cores,
+        seq_secs,
+        par_secs,
+        speedup,
+        warm_secs,
+        warm_speedup,
+        warm_acct.simulated
     );
 
     if cores >= 4 {

@@ -3,15 +3,27 @@
 //!
 //! ```text
 //! sweep --spec grid.toml [--jobs N] [--out report.json] [--forensics] [--drain CYCLES]
+//!       [--cache-dir DIR] [--resume]
 //! ```
 //!
 //! `--jobs 1` is the sequential reference path; any other value produces
 //! byte-identical output (the equivalence suite proves it), so the flag is
-//! purely a wall-clock knob.
+//! purely a wall-clock knob. So is `--cache-dir`: results memoize in a
+//! content-addressed store, a warm re-run of the same spec performs zero
+//! simulations and still emits byte-identical report bytes (the cold/warm
+//! axis of the same suite proves that), and `--resume` replays the grid's
+//! journal so an interrupted sweep only simulates the remainder. The
+//! servicing accounting goes to stderr as one JSON line; the report owns
+//! stdout.
+//!
+//! Exit status: `0` only for a clean, complete sweep — failed runs or
+//! sample-size erosion (`failed` / `shortfall` report sections) exit `1`
+//! *after* writing the report, so CI pipelines cannot green-light a
+//! degraded grid by forgetting to inspect the JSON.
 
 use std::process::exit;
 
-use sb_fleet::{run_sweep_with, ExecOptions, SweepSpec};
+use sb_fleet::{run_sweep_cached, CacheConfig, ExecOptions, SweepSpec};
 
 struct Cli {
     spec: String,
@@ -19,15 +31,21 @@ struct Cli {
     out: String,
     forensics: bool,
     drain: Option<u64>,
+    cache_dir: Option<String>,
+    resume: bool,
 }
 
 const USAGE: &str =
     "usage: sweep --spec FILE [--jobs N] [--out FILE|-] [--forensics] [--drain CYCLES]
-  --spec FILE    sweep grid, TOML or JSON (required)
-  --jobs N       worker threads (default: available cores)
-  --out FILE|-   report destination (default: stdout)
-  --forensics    capture deadlock forensics per wedged run
-  --drain N      after the window, stop injection and drain up to N cycles";
+             [--cache-dir DIR] [--resume]
+  --spec FILE      sweep grid, TOML or JSON (required)
+  --jobs N         worker threads (default: available cores)
+  --out FILE|-     report destination (default: stdout)
+  --forensics      capture deadlock forensics per wedged run
+  --drain N        after the window, stop injection and drain up to N cycles
+  --cache-dir DIR  memoize results in a content-addressed store; warm
+                   re-runs simulate nothing and emit identical bytes
+  --resume         replay this grid's journal from the cache (needs --cache-dir)";
 
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -36,6 +54,8 @@ fn parse_cli() -> Result<Cli, String> {
         out: "-".to_string(),
         forensics: false,
         drain: None,
+        cache_dir: None,
+        resume: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +76,8 @@ fn parse_cli() -> Result<Cli, String> {
                         .map_err(|e| format!("--drain: {e}"))?,
                 )
             }
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            "--resume" => cli.resume = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -65,6 +87,9 @@ fn parse_cli() -> Result<Cli, String> {
     }
     if cli.spec.is_empty() {
         return Err("--spec is required".to_string());
+    }
+    if cli.resume && cli.cache_dir.is_none() {
+        return Err("--resume needs --cache-dir (the journal lives in the cache)".to_string());
     }
     Ok(cli)
 }
@@ -88,18 +113,34 @@ fn main() {
         forensics: cli.forensics,
         drain_budget: cli.drain,
     };
-    let report = match run_sweep_with(&spec, cli.jobs, opts) {
-        Ok(report) => report,
+    let cache = CacheConfig {
+        dir: cli.cache_dir.map(Into::into),
+        resume: cli.resume,
+    };
+    let (report, acct) = match run_sweep_cached(&spec, cli.jobs, opts, &cache) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("sweep: {e}");
             exit(1);
         }
     };
+    if cache.dir.is_some() {
+        eprintln!("{}", acct.to_json_line());
+    }
+    let mut degraded = false;
     if !report.failed.is_empty() {
+        degraded = true;
         eprintln!(
             "sweep: {} of {} runs failed (see `failed` in the report)",
             report.failed.len(),
             report.total_runs
+        );
+    }
+    if !report.shortfall.is_empty() {
+        degraded = true;
+        eprintln!(
+            "sweep: {} group(s) completed fewer runs than expanded (see `shortfall`)",
+            report.shortfall.len()
         );
     }
     let json = report.to_json().expect("report serializes");
@@ -107,6 +148,9 @@ fn main() {
         println!("{json}");
     } else if let Err(e) = std::fs::write(&cli.out, json + "\n") {
         eprintln!("sweep: write {}: {e}", cli.out);
+        exit(1);
+    }
+    if degraded {
         exit(1);
     }
 }

@@ -24,6 +24,7 @@
 //! is fixed. `tests/equivalence.rs` property-tests the composition.
 
 pub mod agg;
+pub mod cache;
 pub mod pool;
 pub mod spec;
 
@@ -31,7 +32,10 @@ pub use agg::{
     aggregate, FailedRow, PointSummary, RunResult, SampleStats, SaturationRow, ScenarioRecord,
     ScenarioRow, ShortfallRow, SweepReport,
 };
-pub use spec::{SweepRun, SweepSpec};
+pub use cache::{schema_epoch, CacheAccounting, CacheKey, DiskCache, Journal};
+pub use spec::{merge_runs, SweepRun, SweepSpec};
+
+use std::path::PathBuf;
 
 use sb_scenario::{Scenario, SpecError};
 
@@ -79,22 +83,184 @@ pub fn execute_one(scenario: &Scenario, opts: ExecOptions) -> RunResult {
     }
 }
 
-/// Run every `SweepRun` across `jobs` workers and collect one
-/// [`ScenarioRecord`] per run (panics isolated into `Err` payloads).
-pub fn run_collect(runs: &[SweepRun], jobs: usize, opts: ExecOptions) -> Vec<ScenarioRecord> {
+/// Where memoized results live and whether to resume an interrupted sweep
+/// from them. [`CacheConfig::none`] keeps everything in process (the
+/// in-process dedup still applies — it is pure win and deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Directory of the content-addressed store (`--cache-dir`). `None`
+    /// disables both memoization and journaling.
+    pub dir: Option<PathBuf>,
+    /// Validate and replay an existing sweep journal (`--resume`):
+    /// completed grid points are reported as resumed; the store serves
+    /// their results; only the remainder simulates.
+    pub resume: bool,
+}
+
+impl CacheConfig {
+    /// No on-disk cache: in-process dedup only.
+    pub fn none() -> Self {
+        CacheConfig::default()
+    }
+
+    /// Memoize into (and serve from) `dir`.
+    pub fn dir(dir: impl Into<PathBuf>) -> Self {
+        CacheConfig {
+            dir: Some(dir.into()),
+            resume: false,
+        }
+    }
+
+    /// As [`CacheConfig::dir`], resuming the grid's journal.
+    pub fn resume(dir: impl Into<PathBuf>) -> Self {
+        CacheConfig {
+            dir: Some(dir.into()),
+            resume: true,
+        }
+    }
+}
+
+/// Execute `runs` with content-addressed servicing and collect one
+/// [`ScenarioRecord`] per run, plus the [`CacheAccounting`] of how the
+/// batch was serviced.
+///
+/// Before anything is scheduled, the runs are grouped by full content key
+/// (`cache::content_key`: schema epoch + name-normalized scenario
+/// fingerprint + execution options). Each distinct key is serviced
+/// **once** — from the on-disk store when `cache.dir` holds a valid
+/// entry, otherwise by one simulation on the work-stealing pool — and the
+/// result fans out to every requesting `ScenarioId`. The records are
+/// value-identical to simulating every run individually (equal content ⇒
+/// equal result, by the determinism contract), so aggregated reports are
+/// byte-identical whether a point was simulated, deduped or served warm.
+///
+/// `name` labels the sweep's journal inside the cache directory; panics
+/// are isolated into `Err` payloads exactly as before (a panicking unique
+/// scenario fails every run that requested it, and is neither stored nor
+/// journaled).
+pub fn run_records(
+    name: &str,
+    runs: &[SweepRun],
+    jobs: usize,
+    opts: ExecOptions,
+    cache: &CacheConfig,
+) -> (Vec<ScenarioRecord>, CacheAccounting) {
+    let epoch = schema_epoch();
+    let mut acct = CacheAccounting {
+        total_requested: runs.len(),
+        ..CacheAccounting::default()
+    };
+
+    // Group requesters by content key, preserving first-occurrence order
+    // (the pool's deterministic scheduling order). A scenario that cannot
+    // fingerprint (unreachable for plain data) stays unkeyed: it is
+    // simulated individually and never touches the store.
+    let mut slot_of: std::collections::BTreeMap<CacheKey, usize> =
+        std::collections::BTreeMap::new();
+    let mut groups: Vec<(Option<CacheKey>, Vec<u32>)> = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        match cache::content_key(&run.scenario, opts, epoch) {
+            Ok(key) => match slot_of.get(&key) {
+                Some(&slot) => groups[slot].1.push(i as u32),
+                None => {
+                    slot_of.insert(key, groups.len());
+                    groups.push((Some(key), vec![i as u32]));
+                }
+            },
+            Err(_) => groups.push((None, vec![i as u32])),
+        }
+    }
+    acct.unique_scenarios = groups.len();
+    acct.dedup_served = runs.len() - groups.len();
+
+    let disk = cache.dir.as_ref().and_then(DiskCache::open);
+    let mut journal = disk.as_ref().and_then(|d| {
+        Journal::open(
+            d.dir(),
+            name,
+            cache::grid_fingerprint(runs),
+            epoch,
+            runs.len(),
+            cache.resume,
+        )
+    });
+    if let Some(j) = &journal {
+        let resumed_keys: std::collections::BTreeSet<CacheKey> =
+            j.resumed.values().copied().collect();
+        acct.journal_resumed = groups
+            .iter()
+            .filter(|(key, _)| key.is_some_and(|k| resumed_keys.contains(&k)))
+            .count();
+    }
+
     let mut records = Vec::with_capacity(runs.len());
+    let mut fan_out = |group: &[u32], result: &Result<RunResult, String>| {
+        for &index in group {
+            records.push(ScenarioRecord {
+                index,
+                result: result.clone(),
+            });
+        }
+    };
+
+    // Warm phase: serve every key the store already holds (validated
+    // header; any defect falls through to simulation).
+    let mut misses: Vec<(usize, &SweepRun)> = Vec::new();
+    for (slot, (key, group)) in groups.iter().enumerate() {
+        let served = key.as_ref().and_then(|k| {
+            let hit = disk.as_ref()?.load(k)?;
+            Some((k, hit))
+        });
+        match served {
+            Some((k, hit)) => {
+                acct.disk_hits += 1;
+                if let Some(j) = &mut journal {
+                    for &index in group {
+                        j.record(index, k);
+                    }
+                }
+                fan_out(group, &Ok(hit));
+            }
+            None => misses.push((slot, &runs[group[0] as usize])),
+        }
+    }
+
+    // Cold phase: simulate each remaining unique scenario once, store and
+    // journal it as it completes, and fan its result out.
+    acct.simulated = misses.len();
+    let slots: Vec<usize> = misses.iter().map(|(slot, _)| *slot).collect();
     pool::run_stream(
-        runs.iter().collect::<Vec<&SweepRun>>(),
+        misses
+            .iter()
+            .map(|(_, run)| *run)
+            .collect::<Vec<&SweepRun>>(),
         jobs,
         &|_, run: &SweepRun| execute_one(&run.scenario, opts),
         |i, result| {
-            records.push(ScenarioRecord {
-                index: i as u32,
-                result,
-            });
+            let (key, group) = &groups[slots[i]];
+            if let (Some(key), Ok(res)) = (key, &result) {
+                if let Some(d) = &disk {
+                    if d.store(key, &runs[group[0] as usize].id.key, res) {
+                        acct.stored += 1;
+                        if let Some(j) = &mut journal {
+                            for &index in group {
+                                j.record(index, key);
+                            }
+                        }
+                    }
+                }
+            }
+            fan_out(group, &result);
         },
     );
-    records
+    (records, acct)
+}
+
+/// Run every `SweepRun` across `jobs` workers and collect one
+/// [`ScenarioRecord`] per run (panics isolated into `Err` payloads).
+/// In-process dedup applies; no on-disk cache.
+pub fn run_collect(runs: &[SweepRun], jobs: usize, opts: ExecOptions) -> Vec<ScenarioRecord> {
+    run_records("adhoc", runs, jobs, opts, &CacheConfig::none()).0
 }
 
 /// Expand a spec, execute the grid on `jobs` workers, and aggregate.
@@ -110,7 +276,20 @@ pub fn run_sweep_with(
     jobs: usize,
     opts: ExecOptions,
 ) -> Result<SweepReport, SpecError> {
+    run_sweep_cached(spec, jobs, opts, &CacheConfig::none()).map(|(report, _)| report)
+}
+
+/// [`run_sweep_with`] through the content-addressed result cache: returns
+/// the aggregated report plus the servicing accounting. With a warm cache
+/// the report is byte-identical to the cold run's and
+/// `accounting.simulated == 0` — the determinism dividend.
+pub fn run_sweep_cached(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: ExecOptions,
+    cache: &CacheConfig,
+) -> Result<(SweepReport, CacheAccounting), SpecError> {
     let runs = spec.expand()?;
-    let records = run_collect(&runs, jobs, opts);
-    Ok(aggregate(&spec.name, spec.accept, &runs, records))
+    let (records, acct) = run_records(&spec.name, &runs, jobs, opts, cache);
+    Ok((aggregate(&spec.name, spec.accept, &runs, records), acct))
 }

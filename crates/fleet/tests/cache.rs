@@ -1,0 +1,350 @@
+//! The cache's safety contract: a content-addressed store may only ever
+//! say "here is *exactly* the result you would have computed" or "miss —
+//! go compute it". These tests attack every way an on-disk entry or
+//! journal can be wrong — corruption, truncation, a stale engine epoch, a
+//! hand-copied foreign entry, concurrent writers, a torn journal tail —
+//! and assert the fleet always falls back to re-simulation with
+//! byte-identical aggregated output, never crashing and never serving
+//! stale bytes. Plus the in-process dedup ledger and the `sweep` binary's
+//! degraded-grid exit status.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sb_fleet::{
+    aggregate, cache, execute_one, merge_runs, run_records, run_sweep_cached, schema_epoch,
+    CacheConfig, DiskCache, ExecOptions, Journal, SweepSpec,
+};
+
+/// A private scratch directory under cargo's test tmpdir; wiped on entry
+/// so reruns start cold.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A small all-unique grid: 2 fault points × 2 designs × 2 seeds = 8 runs.
+fn grid(name: &str) -> SweepSpec {
+    let mut spec = SweepSpec::new(name);
+    spec.meshes = vec!["4x4".into()];
+    spec.link_faults = vec![0, 3];
+    spec.topo_seeds = vec![7];
+    spec.designs = vec!["sp-tree".into(), "static-bubble".into()];
+    spec.sb_variants = vec!["full".into()];
+    spec.rates = vec![0.05];
+    spec.seeds = vec![1, 2];
+    spec.warmup = 50;
+    spec.cycles = 200;
+    spec
+}
+
+/// Entry files of a cache directory, name-sorted for determinism.
+fn entries(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    found.sort();
+    found
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_simulates_nothing() {
+    let dir = scratch("warm");
+    let spec = grid("warm");
+    let opts = ExecOptions::default();
+
+    let plain = run_sweep_cached(&spec, 2, opts, &CacheConfig::none())
+        .expect("uncached sweep")
+        .0
+        .to_json()
+        .expect("serialize");
+
+    let (cold, ca) = run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("cold sweep");
+    assert_eq!(ca.total_requested, 8);
+    assert_eq!(ca.unique_scenarios, 8, "this grid has no duplicates");
+    assert_eq!(ca.simulated, 8);
+    assert_eq!(ca.stored, 8);
+    assert_eq!(ca.disk_hits, 0);
+    assert_eq!(
+        cold.to_json().expect("serialize"),
+        plain,
+        "caching must not change the report"
+    );
+
+    let (warm, wa) = run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("warm sweep");
+    assert_eq!(wa.simulated, 0, "a warm store serves everything");
+    assert_eq!(wa.disk_hits, 8);
+    assert_eq!(warm.to_json().expect("serialize"), plain);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn defective_entries_are_misses_never_crashes_or_stale_serves() {
+    let dir = scratch("defects");
+    let spec = grid("defects");
+    let opts = ExecOptions::default();
+    let (cold, _) = run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("cold sweep");
+    let reference = cold.to_json().expect("serialize");
+
+    let files = entries(&dir);
+    assert_eq!(files.len(), 8);
+
+    // Four distinct defects on four distinct entries.
+    std::fs::write(&files[0], "total garbage, not even a header").expect("corrupt");
+    let text = std::fs::read_to_string(&files[1]).expect("read entry");
+    std::fs::write(&files[1], &text[..text.len() / 2]).expect("truncate");
+    let text = std::fs::read_to_string(&files[2]).expect("read entry");
+    let (header, body) = text.split_once('\n').expect("entry has a header line");
+    let mut stale = String::new();
+    for part in header.split_ascii_whitespace() {
+        if let Some(hex) = part.strip_prefix("epoch=") {
+            assert_eq!(hex, format!("{:016x}", schema_epoch()));
+            stale.push_str("epoch=0000000000000000 ");
+        } else {
+            stale.push_str(part);
+            stale.push(' ');
+        }
+    }
+    std::fs::write(&files[2], format!("{}\n{body}", stale.trim_end())).expect("stale epoch");
+    // A foreign entry copied onto this key's path: internally consistent
+    // bytes, wrong content — the header/key cross-check must reject it.
+    std::fs::copy(&files[4], &files[3]).expect("foreign copy");
+
+    let (warm, wa) = run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("warm sweep");
+    assert_eq!(wa.disk_hits, 4, "only the intact entries serve");
+    assert_eq!(
+        wa.simulated, 4,
+        "every defective entry falls back to simulation"
+    );
+    assert_eq!(wa.stored, 4, "re-simulated results repair the store");
+    assert_eq!(warm.to_json().expect("serialize"), reference);
+
+    // The repaired store is fully warm again.
+    let (_, ra) =
+        run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("repaired sweep");
+    assert_eq!(ra.simulated, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_race_benignly() {
+    let dir = scratch("race");
+    let runs = grid("race").expand().expect("grid");
+    let scenario = runs[0].scenario.clone();
+    let opts = ExecOptions::default();
+    let result = execute_one(&scenario, opts);
+    let key = cache::content_key(&scenario, opts, schema_epoch()).expect("key");
+    let disk = DiskCache::open(&dir).expect("open cache");
+
+    // Equal keys ⇒ equal bytes, so last-rename-wins is harmless; readers
+    // racing the writers must only ever see "absent" or the full result.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..25 {
+                    assert!(disk.store(&key, "race", &result));
+                }
+            });
+        }
+        for _ in 0..2 {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    if let Some(seen) = disk.load(&key) {
+                        assert_eq!(seen, result, "a reader saw a partial entry");
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(disk.load(&key).expect("entry present"), result);
+    let litter: Vec<String> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.starts_with(".tmp-"))
+        .collect();
+    assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_resume_replays_only_its_own_grid() {
+    let dir = scratch("journal");
+    let spec = grid("journal");
+    let opts = ExecOptions::default();
+    let (cold, _) = run_sweep_cached(&spec, 2, opts, &CacheConfig::dir(&dir)).expect("cold sweep");
+    let reference = cold.to_json().expect("serialize");
+
+    // Resume replays the full ledger and the store serves everything.
+    let (resumed, ra) =
+        run_sweep_cached(&spec, 2, opts, &CacheConfig::resume(&dir)).expect("resume sweep");
+    assert_eq!(ra.journal_resumed, 8);
+    assert_eq!(ra.simulated, 0);
+    assert_eq!(resumed.to_json().expect("serialize"), reference);
+
+    // A different grid (one knob changed) is a different journal identity:
+    // nothing resumes, nothing is served across the content boundary.
+    let mut other = grid("journal");
+    other.cycles = 250;
+    let (_, oa) =
+        run_sweep_cached(&other, 2, opts, &CacheConfig::resume(&dir)).expect("other sweep");
+    assert_eq!(oa.journal_resumed, 0);
+    assert_eq!(oa.simulated, 8, "changed content must re-simulate");
+
+    // A journal whose header does not parse is discarded — but the store's
+    // intact entries still serve, so only the accounting changes.
+    let grid_fp = cache::grid_fingerprint(&spec.expand().expect("grid"));
+    let journal_path = dir.join(Journal::file_name("journal", grid_fp));
+    let intact = std::fs::read_to_string(&journal_path).expect("journal exists");
+    let records: Vec<&str> = intact.lines().skip(1).collect();
+    assert_eq!(records.len(), 8, "every run journaled");
+    std::fs::write(
+        &journal_path,
+        format!("sbjournal v99 nope\n{}", records.join("\n")),
+    )
+    .expect("tamper header");
+    let (after, ba) =
+        run_sweep_cached(&spec, 2, opts, &CacheConfig::resume(&dir)).expect("tampered resume");
+    assert_eq!(ba.journal_resumed, 0, "mismatched journal must not resume");
+    assert_eq!(ba.simulated, 0, "the store is independent of the journal");
+    assert_eq!(after.to_json().expect("serialize"), reference);
+
+    // A torn tail (interrupted append) keeps the complete prefix.
+    let header = std::fs::read_to_string(&journal_path)
+        .expect("rewritten journal")
+        .lines()
+        .next()
+        .expect("header")
+        .to_string();
+    std::fs::write(
+        &journal_path,
+        format!("{header}\n{}\n{}\n3 torn-mid-wri", records[0], records[1]),
+    )
+    .expect("tear tail");
+    let (_, ta) =
+        run_sweep_cached(&spec, 2, opts, &CacheConfig::resume(&dir)).expect("torn resume");
+    assert_eq!(ta.journal_resumed, 2, "the prefix before the tear counts");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merged_duplicate_batches_dedup_in_process() {
+    let spec = grid("dedup");
+    let one = spec.expand().expect("grid");
+    let runs = merge_runs(vec![
+        ("a".to_string(), spec.expand().expect("grid")),
+        ("b".to_string(), spec.expand().expect("grid")),
+    ])
+    .expect("merged grid");
+    assert_eq!(runs.len(), one.len() * 2);
+
+    let (records, acct) = run_records(
+        "dedup",
+        &runs,
+        2,
+        ExecOptions::default(),
+        &CacheConfig::none(),
+    );
+    assert_eq!(acct.total_requested, 16);
+    assert_eq!(
+        acct.unique_scenarios, 8,
+        "each point appears in both batches"
+    );
+    assert_eq!(acct.dedup_served, 8);
+    assert_eq!(
+        acct.simulated, 8,
+        "each unique point simulates exactly once"
+    );
+    assert_eq!(acct.disk_hits, 0);
+
+    // Fan-out delivers the *same* result to both requesters.
+    let mut by_index = records.clone();
+    by_index.sort_by_key(|r| r.index);
+    for i in 0..one.len() {
+        assert_eq!(
+            by_index[i].result,
+            by_index[i + one.len()].result,
+            "duplicate requesters must receive identical results"
+        );
+    }
+
+    // The dedup factor is observable in the aggregated report itself.
+    let report = aggregate("dedup", spec.accept, &runs, records);
+    assert_eq!(report.total_runs, 16);
+    assert_eq!(report.unique_scenarios, 8);
+}
+
+#[test]
+fn sweep_binary_degraded_grids_exit_nonzero() {
+    let dir = scratch("bin");
+    let out = dir.join("report.json");
+
+    // The scalar-array spec format has no field defaults: every spec
+    // spells out the whole grid.
+    let spec_toml = |name: &str, link_faults: &str| {
+        format!(
+            "name = \"{name}\"\nmeshes = [\"4x4\"]\nlink_faults = [{link_faults}]\n\
+             router_faults = []\ntopo_seeds = [1]\ndesigns = [\"static-bubble\"]\n\
+             sb_variants = [\"full\"]\nrates = [0.05]\nseeds = [1]\npattern = \"uniform\"\n\
+             single_vnet = true\nwarmup = 50\ncycles = 200\ntdd = 34\naudit_every = 0\n\
+             clock = \"Step\"\naccept = 0.85\n\n[config]\nvnets = 1\nvcs_per_vnet = 4\n\
+             max_packet_flits = 5\n"
+        )
+    };
+
+    // Clean grid: exit 0.
+    let clean = dir.join("clean.toml");
+    std::fs::write(&clean, spec_toml("bin-clean", "0")).expect("write spec");
+    let status = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["--spec", clean.to_str().unwrap(), "--jobs", "2"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run sweep");
+    assert!(status.success(), "clean grid must exit 0");
+
+    // Infeasible fault count: the runs panic, the report records them
+    // under `failed`, and the exit status flags the degradation — but the
+    // report is still written first.
+    let broken = dir.join("broken.toml");
+    std::fs::write(&broken, spec_toml("bin-broken", "1000")).expect("write spec");
+    let status = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["--spec", broken.to_str().unwrap(), "--jobs", "2"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run sweep");
+    assert_eq!(status.code(), Some(1), "failed runs must exit 1");
+    let report = std::fs::read_to_string(&out).expect("report written despite failures");
+    assert!(
+        report.contains("\"failed\""),
+        "failures recorded in the report"
+    );
+
+    // --resume without --cache-dir is a usage error.
+    let status = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["--spec", clean.to_str().unwrap(), "--resume"])
+        .status()
+        .expect("run sweep");
+    assert_eq!(
+        status.code(),
+        Some(2),
+        "--resume without --cache-dir is a usage error"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

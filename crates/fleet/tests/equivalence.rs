@@ -1,19 +1,26 @@
 //! The fleet's headline property: for any sweep grid, the serialized
 //! aggregated report is **byte-identical** under `--jobs 1`, `--jobs 4`
-//! and `--jobs 8`. Worker count and completion order are pure wall-clock
-//! knobs — they must never leak into results.
+//! and `--jobs 8` — and, since results are content-addressed, whether a
+//! point was simulated cold, written through a cache directory, or served
+//! entirely warm from the store with zero simulations. Worker count,
+//! completion order and cache temperature are pure wall-clock knobs —
+//! they must never leak into results.
 //!
 //! Two layers: an explicit matrix over the knobs the property most
 //! plausibly interacts with (invariant auditing on/off × step vs leap
 //! clock), then a property test over randomly drawn grids (mesh, faults,
-//! design mix, ablation variants, loads, seeds, knobs).
+//! design mix, ablation variants, loads, seeds, knobs). Every draw runs
+//! the full jobs × cold/warm cross.
 
 use proptest::prelude::*;
-use sb_fleet::{run_sweep_with, ExecOptions, SweepSpec};
+use sb_fleet::{run_sweep_cached, run_sweep_with, CacheConfig, ExecOptions, SweepSpec};
 use sb_scenario::ClockMode;
 
 /// Run `spec` at jobs = 1, 4, 8 and assert the three serialized reports
-/// are identical bytes. Returns the jobs=1 JSON for extra checks.
+/// are identical bytes; then run the cold → warm cache axis against a
+/// scratch store and assert the warm report is *still* the same bytes
+/// while performing zero simulations. Returns the jobs=1 JSON for extra
+/// checks.
 fn assert_jobs_equivalent(spec: &SweepSpec, opts: ExecOptions) -> String {
     let reference = run_sweep_with(spec, 1, opts)
         .expect("sequential sweep")
@@ -30,6 +37,49 @@ fn assert_jobs_equivalent(spec: &SweepSpec, opts: ExecOptions) -> String {
             spec.name
         );
     }
+
+    // Cold-vs-warm axis: populating the store must not change the report,
+    // and a warm re-run (here through `--resume`, exercising the journal
+    // too) must reproduce it byte-for-byte without simulating anything.
+    let safe: String = spec
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("equiv-{safe}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (cold, ca) =
+        run_sweep_cached(spec, 4, opts, &CacheConfig::dir(&dir)).expect("cold cached sweep");
+    assert_eq!(
+        cold.to_json().expect("serialize"),
+        reference,
+        "sweep `{}` differs between uncached and cold-cache runs",
+        spec.name
+    );
+    assert_eq!(
+        ca.simulated, ca.unique_scenarios,
+        "a cold store simulates everything"
+    );
+    let (warm, wa) =
+        run_sweep_cached(spec, 8, opts, &CacheConfig::resume(&dir)).expect("warm cached sweep");
+    assert_eq!(
+        wa.simulated, 0,
+        "sweep `{}`: a warm store must not simulate",
+        spec.name
+    );
+    assert_eq!(wa.disk_hits, wa.unique_scenarios);
+    assert_eq!(
+        wa.journal_resumed, wa.unique_scenarios,
+        "the journal replays the whole grid"
+    );
+    assert_eq!(
+        warm.to_json().expect("serialize"),
+        reference,
+        "sweep `{}` differs between cold and warm cache runs",
+        spec.name
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     reference
 }
 

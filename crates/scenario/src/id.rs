@@ -63,6 +63,21 @@ impl Scenario {
     pub fn fingerprint(&self) -> Result<u64, SpecError> {
         Ok(fnv1a(self.to_json()?.as_bytes()))
     }
+
+    /// The *result-cache* content hash: like [`Scenario::fingerprint`] but
+    /// with the cosmetic [`Scenario::name`] normalized away, because the
+    /// name labels the experiment without influencing the simulation
+    /// (nothing in `build_on` reads it). Two grid points with different
+    /// human-readable keys but identical physics therefore share one
+    /// content fingerprint — the property the fleet's cross-grid dedup and
+    /// on-disk result cache key on. Every *simulation-relevant* field
+    /// (topology, design, traffic, config, seeds, window, clock, audit
+    /// cadence) still feeds the hash.
+    pub fn content_fingerprint(&self) -> Result<u64, SpecError> {
+        let mut canon = self.clone();
+        canon.name = String::new();
+        Ok(fnv1a(canon.to_json()?.as_bytes()))
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +100,29 @@ mod tests {
         assert_eq!(base.fingerprint().unwrap(), same.fingerprint().unwrap());
         let other = base.clone().with_seed(base.seed + 1);
         assert_ne!(base.fingerprint().unwrap(), other.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn content_fingerprint_ignores_the_cosmetic_name() {
+        let a = Scenario::new("grid-a/r0.1/s1", Design::StaticBubble);
+        let b = Scenario::new("grid-b/point-7", Design::StaticBubble);
+        // Different labels, identical physics: one content key.
+        assert_ne!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+        assert_eq!(
+            a.content_fingerprint().unwrap(),
+            b.content_fingerprint().unwrap()
+        );
+        // Any simulation-relevant field still changes the key.
+        let c = b.clone().with_seed(b.seed + 1);
+        assert_ne!(
+            b.content_fingerprint().unwrap(),
+            c.content_fingerprint().unwrap()
+        );
+        let d = b.clone().with_tdd(b.tdd + 1);
+        assert_ne!(
+            b.content_fingerprint().unwrap(),
+            d.content_fingerprint().unwrap()
+        );
     }
 
     #[test]

@@ -75,3 +75,18 @@ pub use traffic::{
     DATA_FLITS,
 };
 pub use vc::VcRef;
+
+/// Epoch of the engine's *result semantics*: the promise that a given
+/// scenario spec still produces bit-identical [`Stats`].
+///
+/// Downstream result caches (the fleet's content-addressed store, the
+/// future `sbsimd` daemon) fold this into every cache key, so bumping it
+/// invalidates all previously memoized results at once. Bump it whenever a
+/// change alters what a simulation *computes* for the same spec — RNG
+/// stream layout, allocation order, measurement-window semantics, the
+/// meaning of an existing [`Stats`] field — even if no type changes.
+/// Pure speedups that the A/B equivalence suites prove bit-identical do
+/// NOT need a bump. (Layout changes to `Stats` itself are caught
+/// automatically: cache epochs also hash the serialized shape of
+/// `Stats::default()`.)
+pub const RESULT_EPOCH: u32 = 1;
