@@ -9,7 +9,7 @@
 
 use rand::SeedableRng;
 use sb_routing::MinimalRouting;
-use sb_sim::{SimConfig, Simulator, UniformTraffic};
+use sb_sim::{Plugin, SimConfig, Simulator, UniformTraffic};
 use sb_topology::{FaultKind, FaultModel, Mesh};
 use static_bubble::{placement, StaticBubblePlugin};
 
@@ -27,14 +27,14 @@ fn main() {
         1,
         &bubbles,
     );
-    static_bubble::plugin::DBG_TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
+    sim.plugin_mut().set_tracing(true);
     let mut last_del = 0u64;
     let mut last_ret = 0u64;
     let mut last_rec = 0u64;
     for _ in 0..30 {
         sim.run(1000);
         let s = sim.core().stats().clone();
-        let ret = static_bubble::plugin::DBG_RETURN.load(std::sync::atomic::Ordering::Relaxed);
+        let ret = sim.plugin().counters().probe_returns;
         let dead = sb_sim::find_deadlock(sim.core()).len();
         println!("t={:6} del/1k={:5} inflight={:3} dead={:3} frozen={:2} probes={:6} ret/1k={:3} recov/1k={:2} msgs={}",
             sim.time(), s.delivered_packets - last_del, sim.core().in_flight(), dead,
@@ -44,15 +44,10 @@ fn main() {
         last_ret = ret;
         last_rec = s.deadlocks_recovered;
     }
-    use std::sync::atomic::Ordering::Relaxed;
-    println!(
-        "latches={} disfail(sender)={} d_recov={} d_frozen={} d_valid={}",
-        static_bubble::plugin::DBG_LATCH.load(Relaxed),
-        static_bubble::plugin::DBG_DISFAIL.load(Relaxed),
-        static_bubble::plugin::DBG_D_RECOV.load(Relaxed),
-        static_bubble::plugin::DBG_D_FROZEN.load(Relaxed),
-        static_bubble::plugin::DBG_D_VALID.load(Relaxed)
-    );
+    println!("{}", sim.plugin().counters().summary());
+    for line in sim.plugin_mut().trace_lines().iter().rev().take(20).rev() {
+        println!("trace: {line}");
+    }
     for (r, io, src) in sim.plugin().frozen_details() {
         let f = sim.plugin().fsm(src);
         println!(

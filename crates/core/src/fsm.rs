@@ -147,6 +147,16 @@ pub struct SbFsm {
     /// sustained congestion so that genuine cycle probes survive their lap
     /// (deviation, DESIGN.md).
     pub probe_backoff: u32,
+    /// Additive retry stagger applied once backoff engages (0 = none; the
+    /// plugin sets the node id here when probe desynchronization is on).
+    /// The left shift alone multiplies the *base* stagger, so two routers
+    /// in the same base-stagger class land on bit-identical backed-off
+    /// periods — and in a synchronous network a mid-walk probe collision
+    /// between them then recurs at the same cycle of every retry round,
+    /// forever. A node-unique additive term makes every pair of periods
+    /// distinct, so collision phases drift and a clean probe round
+    /// eventually arrives (the pinned pipeline wedge; DESIGN.md §12).
+    pub retry_stagger: u64,
     /// Illegal transitions recorded by [`SbFsm::goto`], awaiting drain by
     /// the runtime auditor ([`SbFsm::take_illegal`]). Recording at
     /// transition time makes the FSM-legality audit exact at any audit
@@ -171,6 +181,7 @@ impl SbFsm {
             chain_in: Direction::North,
             enable_retries: 0,
             probe_backoff: 0,
+            retry_stagger: 0,
             illegal: Vec::new(),
         }
     }
@@ -198,9 +209,16 @@ impl SbFsm {
         self.count = 0;
     }
 
-    /// Effective detection threshold including probe backoff.
+    /// Effective detection threshold including probe backoff. Retries
+    /// (backoff > 0) additionally carry [`SbFsm::retry_stagger`] so that no
+    /// two routers back off onto the same period; first detection is exact.
     pub fn effective_tdd(&self) -> u64 {
-        self.tdd << self.probe_backoff.min(4)
+        let backed = self.tdd << self.probe_backoff.min(4);
+        if self.probe_backoff == 0 {
+            backed
+        } else {
+            backed + self.retry_stagger
+        }
     }
 
     /// Is the FSM in a recovery state (`SDR` in the paper's shorthand:

@@ -133,7 +133,7 @@ impl SpecialMsg {
 
 /// A special message travelling a link: arrives at `to` on input port
 /// `in_port` at cycle `arrive_at`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InFlightMsg {
     /// The message.
     pub msg: SpecialMsg,

@@ -24,11 +24,12 @@ use crate::msg::{InFlightMsg, MsgKind, SpecialMsg};
 use crate::placement;
 use sb_sim::{AuditClass, InputRef, NetCore, OutPort, Plugin, SlotRef, VcRef, Violation};
 use sb_topology::{Direction, Mesh, NodeId, Turn, DIRECTIONS};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Per-router protocol registers present in **every** router (SB or not):
 /// the `is_deadlock` bit, the IO-priority buffer and the source-id buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 struct ProtState {
     /// Injection into `io.1` is restricted to input `io.0` while set.
     is_deadlock: bool,
@@ -48,7 +49,7 @@ const RECENT_MSG_CAP: usize = 64;
 
 /// One transmission in the recent special-message ring (forensics only; no
 /// protocol behaviour depends on it).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct MsgRecord {
     time: u64,
     from: NodeId,
@@ -63,9 +64,346 @@ struct MsgRecord {
 enum Action {
     /// Forward out of `out` (already stripped/appended).
     Forward { out: Direction, msg: SpecialMsg },
-    /// Drop silently.
-    Drop,
+    /// Drop, for the stated reason.
+    Drop(DropReason),
 }
+
+/// Why a special message was discarded instead of forwarded or processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Probe from a lower-id sender at an SB node whose bubble is usable
+    /// (the higher-id node owns any cycle through both).
+    LowerSender,
+    /// Probe fork condition failed: not every VC of the vnet at the input
+    /// port is occupied.
+    NotAllOccupied,
+    /// Non-forking ablation: the VCs at the input port want more than one
+    /// output.
+    NonForkingDivergence,
+    /// No legal output existed: every wanted output was the ejection port
+    /// or a u-turn.
+    NoLegalFork,
+    /// The probe's turn capacity ([`crate::msg::TURN_CAPACITY`]) is
+    /// exhausted.
+    TurnCapacity,
+    /// Lost the one-message-per-output-port arbitration (Section IV-C).
+    OutputConflict,
+    /// Won arbitration but failed re-validation against post-arbitration
+    /// state, or the output link died.
+    Revalidation,
+    /// Disable arriving at an SB node that is in a recovery state of its
+    /// own.
+    DisableInRecovery,
+    /// Second disable at an already-frozen router.
+    DisableFrozen,
+    /// Disable whose buffer dependence no longer holds at this hop (false
+    /// positive cleared in flight).
+    DisableStale,
+    /// Check-probe that is no longer on the frozen chain.
+    OffChain,
+    /// Turn list exhausted at a transit router (malformed path).
+    PathExhausted,
+    /// Probe returned to its sender while the FSM is mid-recovery: one
+    /// recovery at a time, so the second cycle's probe is discarded.
+    /// Counted in [`sb_sim::Stats::probes_dropped`].
+    FsmBusy,
+    /// Returned probe whose walk did not close into a VC wanting the
+    /// original output, with return-forwarding ablated
+    /// ([`SbOptions::return_forwarding`] off). With the default options
+    /// such probes re-circulate as transit instead — see `DESIGN.md` §12
+    /// for why dropping them wedges multi-loop knots.
+    WalkNotClosed,
+}
+
+/// One protocol-level event, recorded when tracing is enabled
+/// ([`sb_sim::Plugin::set_tracing`]) and drained by
+/// [`sb_sim::Plugin::trace_lines`] into
+/// [`sb_sim::ForensicsReport::probe_trace`]. This replaces the old
+/// process-global `DBG_*` atomics and `eprintln!` tracing: events are
+/// per-plugin (parallel fleets don't interleave), capturable in tests, and
+/// free when disabled (one branch per would-be event).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoEvent {
+    /// A transit message won its output port and was forwarded (probes:
+    /// one event per fork copy).
+    Forward {
+        /// Cycle.
+        time: u64,
+        /// Router the message transited.
+        router: NodeId,
+        /// Input port it arrived at.
+        in_port: Direction,
+        /// Output port it left from.
+        out: Direction,
+        /// Message kind.
+        kind: MsgKind,
+        /// Originating static-bubble router.
+        sender: NodeId,
+        /// Vnet being traced.
+        vnet: u8,
+        /// Turn-list length after this hop.
+        turns: usize,
+    },
+    /// A message was discarded.
+    Drop {
+        /// Cycle.
+        time: u64,
+        /// Router that dropped it.
+        router: NodeId,
+        /// Input port it arrived at.
+        in_port: Direction,
+        /// Message kind.
+        kind: MsgKind,
+        /// Originating static-bubble router.
+        sender: NodeId,
+        /// Vnet being traced.
+        vnet: u8,
+        /// Turn-list length at drop time.
+        turns: usize,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A probe arrived back at its sender: the exact latch-condition
+    /// evaluation (this is the forensic record the deadlock bisection
+    /// workflow keys on; see `DESIGN.md` §12).
+    ProbeReturn {
+        /// Cycle.
+        time: u64,
+        /// The sender (== receiving router).
+        router: NodeId,
+        /// Input port the probe returned at.
+        in_port: Direction,
+        /// Output port the probe originally left from (reconstructed from
+        /// the turn list).
+        origin_out: Direction,
+        /// Vnet being traced.
+        vnet: u8,
+        /// Accumulated turns.
+        turns: usize,
+        /// Were all VCs of the vnet occupied at the return port?
+        all_occupied: bool,
+        /// The mesh outputs those VCs want.
+        wanted: Vec<Direction>,
+        /// Did the walk close into a VC wanting `origin_out` (the latch
+        /// condition)?
+        closes_cycle: bool,
+        /// FSM state at return time.
+        fsm: FsmState,
+    },
+    /// The latch fired: path frozen, disable sent out `origin_out`.
+    Latch {
+        /// Cycle.
+        time: u64,
+        /// The latching static-bubble router.
+        router: NodeId,
+        /// Output the disable leaves from.
+        origin_out: Direction,
+        /// Vnet of the frozen chain.
+        vnet: u8,
+        /// Latched path length in turns.
+        turns: usize,
+    },
+    /// A disable returned to its sender but failed final validation.
+    DisableFail {
+        /// Cycle.
+        time: u64,
+        /// The sender.
+        router: NodeId,
+        /// Input port the disable returned at.
+        in_port: Direction,
+        /// The probed output.
+        probe_out: Direction,
+        /// Did the sender's own buffer dependence still hold?
+        holds: bool,
+        /// Was the bubble free to arm?
+        bubble_free: bool,
+    },
+    /// A disable returned validly: bubble armed, recovery engaged.
+    Recover {
+        /// Cycle.
+        time: u64,
+        /// The recovering static-bubble router.
+        router: NodeId,
+        /// Upstream port of the frozen chain.
+        chain_in: Direction,
+        /// Protected output of the frozen chain.
+        out: Direction,
+        /// Vnet of the chain.
+        vnet: u8,
+    },
+}
+
+impl ProtoEvent {
+    /// One-line human-readable rendering (the `trace_lines` format).
+    pub fn line(&self) -> String {
+        match self {
+            ProtoEvent::Forward {
+                time,
+                router,
+                in_port,
+                out,
+                kind,
+                sender,
+                vnet,
+                turns,
+            } => format!(
+                "[{time}] fwd {kind:?} sender=n{} at n{} {in_port:?}->{out:?} vnet={vnet} \
+                 turns={turns}",
+                sender.0, router.0
+            ),
+            ProtoEvent::Drop {
+                time,
+                router,
+                in_port,
+                kind,
+                sender,
+                vnet,
+                turns,
+                reason,
+            } => format!(
+                "[{time}] drop {kind:?} sender=n{} at n{} in={in_port:?} vnet={vnet} \
+                 turns={turns} reason={reason:?}",
+                sender.0, router.0
+            ),
+            ProtoEvent::ProbeReturn {
+                time,
+                router,
+                in_port,
+                origin_out,
+                vnet,
+                turns,
+                all_occupied,
+                wanted,
+                closes_cycle,
+                fsm,
+            } => format!(
+                "[{time}] return at n{} in={in_port:?} origin_out={origin_out:?} vnet={vnet} \
+                 turns={turns} all_occupied={all_occupied} wanted={wanted:?} \
+                 closes_cycle={closes_cycle} fsm={fsm:?}",
+                router.0
+            ),
+            ProtoEvent::Latch {
+                time,
+                router,
+                origin_out,
+                vnet,
+                turns,
+            } => format!(
+                "[{time}] latch at n{} origin_out={origin_out:?} vnet={vnet} turns={turns}",
+                router.0
+            ),
+            ProtoEvent::DisableFail {
+                time,
+                router,
+                in_port,
+                probe_out,
+                holds,
+                bubble_free,
+            } => format!(
+                "[{time}] disfail at n{} in={in_port:?} probe_out={probe_out:?} holds={holds} \
+                 bubble_free={bubble_free}",
+                router.0
+            ),
+            ProtoEvent::Recover {
+                time,
+                router,
+                chain_in,
+                out,
+                vnet,
+            } => format!(
+                "[{time}] recover at n{} chain_in={chain_in:?} out={out:?} vnet={vnet}",
+                router.0
+            ),
+        }
+    }
+}
+
+/// Always-on per-plugin protocol counters (replacing the old process-global
+/// `DBG_*` atomics; see the `overload_monitor` example). Plain adds on the
+/// plugin — maintained whether or not event tracing is on, and captured by
+/// snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtoCounters {
+    /// Probes that arrived back at their sender.
+    pub probe_returns: u64,
+    /// Returned probes that latched (a disable was sent).
+    pub latches: u64,
+    /// Returned probes whose walk did not close at the return port and
+    /// were re-circulated as transit (see `DESIGN.md` §12).
+    pub probe_returns_forwarded: u64,
+    /// Returned probes dropped because the FSM was mid-recovery (also
+    /// mirrored into [`sb_sim::Stats::probes_dropped`]).
+    pub probes_dropped_busy: u64,
+    /// Returned disables that failed final validation.
+    pub disable_fails: u64,
+    /// Recoveries engaged (disable returned validly; bubble armed).
+    pub recoveries: u64,
+    /// Probe drops: lower-id sender at an SB node.
+    pub drops_lower_sender: u64,
+    /// Probe drops: fork condition (all VCs occupied) failed.
+    pub drops_not_occupied: u64,
+    /// Probe drops: turn capacity exhausted.
+    pub drops_capacity: u64,
+    /// Drops: lost the per-output arbitration or failed re-validation.
+    pub drops_conflict: u64,
+    /// Disable drops: receiving SB node was mid-recovery.
+    pub drops_disable_in_recovery: u64,
+    /// Disable drops: router already frozen.
+    pub drops_disable_frozen: u64,
+    /// Disable drops: buffer dependence no longer held at a hop.
+    pub drops_disable_stale: u64,
+    /// All other drops (non-forking ablation, off-chain check-probes,
+    /// exhausted paths, no legal fork).
+    pub drops_other: u64,
+}
+
+impl ProtoCounters {
+    fn note_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::LowerSender => self.drops_lower_sender += 1,
+            DropReason::NotAllOccupied => self.drops_not_occupied += 1,
+            DropReason::TurnCapacity => self.drops_capacity += 1,
+            DropReason::OutputConflict | DropReason::Revalidation => self.drops_conflict += 1,
+            DropReason::DisableInRecovery => self.drops_disable_in_recovery += 1,
+            DropReason::DisableFrozen => self.drops_disable_frozen += 1,
+            DropReason::DisableStale => self.drops_disable_stale += 1,
+            DropReason::FsmBusy => self.probes_dropped_busy += 1,
+            DropReason::NonForkingDivergence
+            | DropReason::NoLegalFork
+            | DropReason::OffChain
+            | DropReason::PathExhausted
+            | DropReason::WalkNotClosed => self.drops_other += 1,
+        }
+    }
+
+    /// One-line summary for forensic reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "returns={} latches={} return_fwd={} dropped_busy={} disfail={} recovered={} \
+             drops: lower={} notocc={} cap={} conflict={} d_recov={} d_frozen={} d_stale={} \
+             other={}",
+            self.probe_returns,
+            self.latches,
+            self.probe_returns_forwarded,
+            self.probes_dropped_busy,
+            self.disable_fails,
+            self.recoveries,
+            self.drops_lower_sender,
+            self.drops_not_occupied,
+            self.drops_capacity,
+            self.drops_conflict,
+            self.drops_disable_in_recovery,
+            self.drops_disable_frozen,
+            self.drops_disable_stale,
+            self.drops_other,
+        )
+    }
+}
+
+/// Capacity of the traced-event ring: old events are discarded (and
+/// counted) once the ring is full, keeping the window nearest the capture
+/// point — which is the end a bisect replay reads.
+const TRACE_EVENT_CAP: usize = 1 << 16;
 
 /// Ablation switches for the design choices called out in `DESIGN.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -78,6 +416,21 @@ pub struct SbOptions {
     /// optimization). When off, the bubble reclaim goes straight to the
     /// enable, and a fresh probe must re-detect any remaining deadlock.
     pub check_probe: bool,
+    /// Re-circulate a returned probe as an ordinary transit message when
+    /// its walk does not close at the return port (the sender sits
+    /// mid-chain on a knot that passes through it more than once; the
+    /// probe must keep walking to reach the port where the cycle actually
+    /// closes). When off, such probes are silently dropped at the sender —
+    /// a latch opportunity lost. Closes a real protocol gap, but is *not*
+    /// what wedges the pinned pipeline seeds; see `DESIGN.md` §12.
+    pub return_forwarding: bool,
+    /// Add a node-unique term to the probe retry period once backoff
+    /// engages, so no two detectors retry on the same period (see
+    /// [`SbFsm::retry_stagger`]). When off, routers whose ids fall in the
+    /// same base-stagger class back off onto bit-identical periods and
+    /// mid-walk probe collisions phase-lock — the root cause of the pinned
+    /// pipeline wedge (seeds 2 and 5); see `DESIGN.md` §12.
+    pub probe_desync: bool,
 }
 
 impl Default for SbOptions {
@@ -85,6 +438,8 @@ impl Default for SbOptions {
         SbOptions {
             forking: true,
             check_probe: true,
+            return_forwarding: true,
+            probe_desync: true,
         }
     }
 }
@@ -107,6 +462,14 @@ pub struct StaticBubblePlugin {
     /// which the counted condition provably held — are accounted exactly as
     /// if they had been stepped through.
     last_tick: Option<u64>,
+    /// Always-on protocol counters (see [`ProtoCounters`]).
+    counters: ProtoCounters,
+    /// Event tracing toggle ([`sb_sim::Plugin::set_tracing`]).
+    trace_on: bool,
+    /// Recorded events awaiting drain, newest at the back.
+    events: VecDeque<ProtoEvent>,
+    /// Events discarded because the ring was full.
+    events_lost: u64,
 }
 
 impl StaticBubblePlugin {
@@ -136,7 +499,13 @@ impl StaticBubblePlugin {
         // counters for the same reason).
         let fsms = nodes
             .iter()
-            .map(|&n| (n, SbFsm::new(n, tdd + u64::from(n.0) % 7)))
+            .map(|&n| {
+                let mut fsm = SbFsm::new(n, tdd + u64::from(n.0) % 7);
+                if opts.probe_desync {
+                    fsm.retry_stagger = u64::from(n.0);
+                }
+                (n, fsm)
+            })
             .collect();
         StaticBubblePlugin {
             fsms,
@@ -147,7 +516,28 @@ impl StaticBubblePlugin {
             opts,
             recent: VecDeque::with_capacity(RECENT_MSG_CAP),
             last_tick: None,
+            counters: ProtoCounters::default(),
+            trace_on: false,
+            events: VecDeque::new(),
+            events_lost: 0,
         }
+    }
+
+    /// The always-on protocol counters.
+    pub fn counters(&self) -> &ProtoCounters {
+        &self.counters
+    }
+
+    /// Record a protocol event (no-op unless tracing is enabled).
+    fn record(&mut self, ev: ProtoEvent) {
+        if !self.trace_on {
+            return;
+        }
+        if self.events.len() == TRACE_EVENT_CAP {
+            self.events.pop_front();
+            self.events_lost += 1;
+        }
+        self.events.push_back(ev);
     }
 
     /// The detection threshold.
@@ -259,19 +649,17 @@ impl StaticBubblePlugin {
                 let bubble_usable =
                     core.has_bubble(router) && core.bubble_occupant(router).is_none();
                 if is_sb && msg.sender < router && bubble_usable {
-                    DBG_LOWER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::LowerSender)];
                 }
                 // Fork iff all VCs of the vnet at this input port are active.
                 if !core.all_vcs_occupied(router, in_port, msg.vnet) {
-                    DBG_NOTOCC.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::NotAllOccupied)];
                 }
                 let wants = core.wanted_outputs(router, in_port, msg.vnet);
                 if !self.opts.forking && wants.len() > 1 {
                     // Ablation: the non-forking strawman drops probes at
                     // any divergence point.
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::NonForkingDivergence)];
                 }
                 let mut copies = Vec::new();
                 for want in wants {
@@ -285,26 +673,25 @@ impl StaticBubblePlugin {
                     if copy.push_turn(turn) {
                         copies.push(Action::Forward { out: d, msg: copy });
                     } else {
-                        DBG_CAP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        copies.push(Action::Drop(DropReason::TurnCapacity));
                     }
                 }
                 if copies.is_empty() {
-                    copies.push(Action::Drop);
+                    copies.push(Action::Drop(DropReason::NoLegalFork));
                 }
                 copies
             }
             MsgKind::Disable => {
                 if is_sb && self.fsms[&router].in_recovery() {
-                    DBG_D_RECOV.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::DisableInRecovery)];
                 }
                 if prot.is_deadlock {
-                    DBG_D_FROZEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return vec![Action::Drop]; // second disable dropped
+                    // Second disable dropped.
+                    return vec![Action::Drop(DropReason::DisableFrozen)];
                 }
                 let mut m = msg.clone();
                 let Some(out) = m.strip_turn(travel) else {
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::PathExhausted)];
                 };
                 // Same buffer dependence as when the probe passed?
                 let holds = core.all_vcs_occupied(router, in_port, m.vnet)
@@ -314,14 +701,13 @@ impl StaticBubblePlugin {
                 if holds {
                     vec![Action::Forward { out, msg: m }]
                 } else {
-                    DBG_D_VALID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    vec![Action::Drop]
+                    vec![Action::Drop(DropReason::DisableStale)]
                 }
             }
             MsgKind::CheckProbe => {
                 let mut m = msg.clone();
                 let Some(out) = m.strip_turn(travel) else {
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::PathExhausted)];
                 };
                 // Forward along the frozen chain while at least one VC is
                 // still part of it (Buffer Dependency Check unit).
@@ -334,7 +720,7 @@ impl StaticBubblePlugin {
                 if on_chain {
                     vec![Action::Forward { out, msg: m }]
                 } else {
-                    vec![Action::Drop]
+                    vec![Action::Drop(DropReason::OffChain)]
                 }
             }
             MsgKind::Enable => {
@@ -348,7 +734,7 @@ impl StaticBubblePlugin {
                 // Sec. IV-B; see DESIGN.md).
                 let mut m = msg.clone();
                 let Some(out) = m.strip_turn(travel) else {
-                    return vec![Action::Drop];
+                    return vec![Action::Drop(DropReason::PathExhausted)];
                 };
                 // Forwarded regardless of the source-id match; the match
                 // only gates local processing (apply_transit).
@@ -358,6 +744,9 @@ impl StaticBubblePlugin {
     }
 
     /// Apply the state mutation of a transit message that won its output.
+    /// Returns whether the message may be forwarded — `false` rejects it
+    /// outright (nothing was mutated, nothing is sent).
+    ///
     /// Changing a router's injection restriction changes what `allow_grant`
     /// permits there, so both the disable and enable paths wake the router
     /// (wakeup invariant, see `sb_sim::Plugin`).
@@ -368,11 +757,35 @@ impl StaticBubblePlugin {
         in_port: Direction,
         out: Direction,
         msg: &SpecialMsg,
-    ) {
+    ) -> bool {
         let self_expiry = core.time() + self.restriction_ttl;
-        let prot = &mut self.prot[router.index()];
         match msg.kind {
             MsgKind::Disable => {
+                // A disable must never freeze an SB node that is mid-recovery
+                // — resetting its FSM to SOff from a recovery state would
+                // orphan its armed bubble and its own frozen chain. The
+                // evaluation path already drops such disables, and winners
+                // are re-evaluated after every same-cycle state change, so
+                // this guard is believed unreachable; it is an explicit
+                // release-mode reject (was a bare `debug_assert!`) so that
+                // any future reordering of the before_cycle pipeline fails
+                // safe instead of corrupting recovery state.
+                if self.fsms.get(&router).is_some_and(SbFsm::in_recovery) {
+                    debug_assert!(false, "disable applied at in-recovery SB node");
+                    self.counters.note_drop(DropReason::DisableInRecovery);
+                    self.record(ProtoEvent::Drop {
+                        time: core.time(),
+                        router,
+                        in_port,
+                        kind: msg.kind,
+                        sender: msg.sender,
+                        vnet: msg.vnet,
+                        turns: msg.turns.len(),
+                        reason: DropReason::DisableInRecovery,
+                    });
+                    return false;
+                }
+                let prot = &mut self.prot[router.index()];
                 prot.is_deadlock = true;
                 prot.io = Some((in_port, out));
                 prot.source = Some(msg.sender);
@@ -381,13 +794,13 @@ impl StaticBubblePlugin {
                 // An SB node in detection that processes a (higher-id)
                 // disable sends its counter to SOff.
                 if let Some(fsm) = self.fsms.get_mut(&router) {
-                    debug_assert!(!fsm.in_recovery());
                     fsm.goto(FsmState::SOff);
                     fsm.watching = None;
                     fsm.restart_counter();
                 }
             }
             MsgKind::Enable => {
+                let prot = &mut self.prot[router.index()];
                 if prot.source == Some(msg.sender) {
                     prot.is_deadlock = false;
                     prot.io = None;
@@ -397,10 +810,13 @@ impl StaticBubblePlugin {
             }
             MsgKind::Probe | MsgKind::CheckProbe => {}
         }
+        true
     }
 
     // ------------------------------------------------------------------
-    // Returned messages (sender == router): consumed, never forwarded
+    // Returned messages (sender == router): consumed at the FSM, except
+    // for probes whose walk has not closed yet — those re-enter the
+    // transit path (Some return) and keep walking the dependence chain.
     // ------------------------------------------------------------------
 
     fn consume_returned(
@@ -409,14 +825,14 @@ impl StaticBubblePlugin {
         router: NodeId,
         in_port: Direction,
         msg: SpecialMsg,
-    ) {
-        let Some(fsm) = self.fsms.get_mut(&router) else {
+    ) -> Option<(Direction, SpecialMsg)> {
+        let Some(state) = self.fsms.get(&router).map(|f| f.state) else {
             debug_assert!(false, "returned message at non-SB node");
-            return;
+            return None;
         };
         match msg.kind {
             MsgKind::Probe => {
-                DBG_RETURN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.counters.probe_returns += 1;
                 // Several probes can be outstanding (one per pointed VC), so
                 // the output port this particular probe left from is
                 // reconstructed from its turn list rather than read from a
@@ -424,28 +840,45 @@ impl StaticBubblePlugin {
                 let origin_out = msg.origin_out(in_port.opposite());
                 // A returned probe confirms a closed dependence walk, but
                 // only a walk that closes into a VC *wanting the original
-                // probe output* is a cycle this bubble can break. Screening
-                // that here — the same check the disable return applies —
-                // rejects pseudo-cycles immediately instead of tying the FSM
-                // up in a doomed disable/enable round while genuine cycle
-                // probes return to a busy FSM and get dropped.
-                let closes_cycle = core.all_vcs_occupied(router, in_port, msg.vnet)
-                    && core
-                        .wanted_outputs(router, in_port, msg.vnet)
-                        .contains(&OutPort::Dir(origin_out));
+                // probe output* is a cycle this bubble can break. The same
+                // check the disable return applies, evaluated here so
+                // pseudo-cycles never tie the FSM up in a doomed
+                // disable/enable round.
+                let all_occupied = core.all_vcs_occupied(router, in_port, msg.vnet);
+                let wanted_outs = core.wanted_outputs(router, in_port, msg.vnet);
+                let closes_cycle = all_occupied && wanted_outs.contains(&OutPort::Dir(origin_out));
+                if self.trace_on {
+                    let wanted: Vec<Direction> = wanted_outs
+                        .iter()
+                        .filter_map(|o| match o {
+                            OutPort::Dir(d) => Some(*d),
+                            OutPort::Eject => None,
+                        })
+                        .collect();
+                    self.record(ProtoEvent::ProbeReturn {
+                        time: core.time(),
+                        router,
+                        in_port,
+                        origin_out,
+                        vnet: msg.vnet,
+                        turns: msg.turns.len(),
+                        all_occupied,
+                        wanted,
+                        closes_cycle,
+                        fsm: state,
+                    });
+                }
                 // Dependence chain confirmed; latch the path and freeze it.
-                if fsm.state == FsmState::SDd && closes_cycle {
-                    if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
-                        eprintln!(
-                            "[{}] latch at n{} in={:?} origin_out={:?} turns={}",
-                            core.time(),
-                            router.0,
-                            in_port,
-                            origin_out,
-                            msg.turns.len()
-                        );
-                    }
-                    DBG_LATCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if state == FsmState::SDd && closes_cycle {
+                    self.counters.latches += 1;
+                    self.record(ProtoEvent::Latch {
+                        time: core.time(),
+                        router,
+                        origin_out,
+                        vnet: msg.vnet,
+                        turns: msg.turns.len(),
+                    });
+                    let fsm = self.fsms.get_mut(&router).expect("checked SB node");
                     fsm.probe_out = origin_out;
                     fsm.probe_vnet = msg.vnet;
                     fsm.latch_probe(msg.turns.clone());
@@ -456,16 +889,53 @@ impl StaticBubblePlugin {
                         fsm.turn_buffer.clone(),
                     );
                     self.send(core, router, origin_out, disable);
+                    return None;
                 }
-                // In any other state this is a second cycle's probe: drop.
+                let drop = |this: &mut Self, core: &mut NetCore, reason: DropReason| {
+                    this.counters.note_drop(reason);
+                    this.record(ProtoEvent::Drop {
+                        time: core.time(),
+                        router,
+                        in_port,
+                        kind: MsgKind::Probe,
+                        sender: router,
+                        vnet: msg.vnet,
+                        turns: msg.turns.len(),
+                        reason,
+                    });
+                };
+                if self.fsms[&router].in_recovery() {
+                    // Mid-recovery: one recovery at a time, so this second
+                    // cycle's probe is discarded — loudly (satellite of
+                    // ISSUE 9): the drop is a protocol-level loss of
+                    // detection work, visible in Stats and forensics.
+                    core.stats_mut().probes_dropped += 1;
+                    drop(self, core, DropReason::FsmBusy);
+                    return None;
+                }
+                if !self.opts.return_forwarding {
+                    // Ablation: the pre-fix behavior dropped every returned
+                    // probe that did not latch.
+                    drop(self, core, DropReason::WalkNotClosed);
+                    return None;
+                }
+                // The walk did not close here: the sender sits mid-chain on
+                // a knot that passes through it more than once. Keep the
+                // probe walking — it re-enters the transit path (the
+                // lower-id screen never fires on a sender's own probe) and,
+                // if the dependence truly cycles, returns again at the port
+                // where it closes. Termination is bounded by the turn
+                // capacity. See `DESIGN.md` §12.
+                self.counters.probe_returns_forwarded += 1;
+                Some((in_port, msg))
             }
             MsgKind::Disable => {
-                if fsm.state != FsmState::SDisable {
-                    return;
+                if state != FsmState::SDisable {
+                    return None;
                 }
                 // Validate the sender's own buffer dependence (a false
                 // positive may have cleared while the disable circulated).
-                let out = fsm.probe_out;
+                let out = self.fsms[&router].probe_out;
                 let holds = core.all_vcs_occupied(router, in_port, msg.vnet)
                     && core
                         .wanted_outputs(router, in_port, msg.vnet)
@@ -475,24 +945,30 @@ impl StaticBubblePlugin {
                 // packet drains.
                 let bubble_free = core.has_bubble(router) && core.bubble_occupant(router).is_none();
                 if !holds || !bubble_free {
-                    if DBG_TRACE.load(std::sync::atomic::Ordering::Relaxed) {
-                        eprintln!(
-                            "[{}] disfail at n{} in={:?} probe_out={:?} holds={} bubble_free={}",
-                            core.time(),
-                            router.0,
-                            in_port,
-                            out,
-                            holds,
-                            bubble_free
-                        );
-                    }
-                    DBG_DISFAIL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return; // timeout will send the enable
+                    self.counters.disable_fails += 1;
+                    self.record(ProtoEvent::DisableFail {
+                        time: core.time(),
+                        router,
+                        in_port,
+                        probe_out: out,
+                        holds,
+                        bubble_free,
+                    });
+                    return None; // timeout will send the enable
                 }
+                let fsm = self.fsms.get_mut(&router).expect("checked SB node");
                 fsm.goto(FsmState::SSbActive);
                 fsm.chain_in = in_port;
                 fsm.restart_counter();
                 let vnet = msg.vnet;
+                self.counters.recoveries += 1;
+                self.record(ProtoEvent::Recover {
+                    time: core.time(),
+                    router,
+                    chain_in: in_port,
+                    out,
+                    vnet,
+                });
                 self.prot[router.index()] = ProtState {
                     is_deadlock: true,
                     io: Some((in_port, out)),
@@ -504,20 +980,23 @@ impl StaticBubblePlugin {
                 core.touch(router);
                 core.bubble_activate(router, in_port, vnet);
                 core.stats_mut().deadlocks_recovered += 1;
+                None
             }
             MsgKind::CheckProbe => {
-                if fsm.state != FsmState::SCheckProbe {
-                    return;
+                if state != FsmState::SCheckProbe {
+                    return None;
                 }
+                let fsm = self.fsms.get_mut(&router).expect("checked SB node");
                 // The chain is still deadlocked: open the bubble again.
                 fsm.goto(FsmState::SSbActive);
                 fsm.restart_counter();
                 let (port, vnet) = (fsm.chain_in, fsm.probe_vnet);
                 core.bubble_activate(router, port, vnet);
+                None
             }
             MsgKind::Enable => {
-                if fsm.state != FsmState::SEnable {
-                    return;
+                if state != FsmState::SEnable {
+                    return None;
                 }
                 // Fig. 5: "enable rcvd & VCs active → increment counter
                 // pointer, reset is_deadlock, rsc → SDD". Advancing the
@@ -525,6 +1004,7 @@ impl StaticBubblePlugin {
                 // what guarantees the FSM eventually probes a VC that lies
                 // on a recoverable cycle instead of retrying one whose
                 // probe keeps failing validation.
+                let fsm = self.fsms.get_mut(&router).expect("checked SB node");
                 let after = fsm.watching.map(|w| (w.port, w.vc));
                 fsm.clear_recovery();
                 self.prot[router.index()] = ProtState::default();
@@ -536,6 +1016,7 @@ impl StaticBubblePlugin {
                     fsm.goto(FsmState::SDd);
                     fsm.restart_counter();
                 }
+                None
             }
         }
     }
@@ -836,7 +1317,11 @@ impl Plugin for StaticBubblePlugin {
             let mut transit: Vec<(Direction, SpecialMsg)> = Vec::new();
             for (in_port, msg) in msgs {
                 if msg.sender == router {
-                    self.consume_returned(core, router, in_port, msg);
+                    // A returned probe whose walk has not closed yet
+                    // re-enters the transit path and keeps walking.
+                    if let Some(keep) = self.consume_returned(core, router, in_port, msg) {
+                        transit.push(keep);
+                    }
                 } else {
                     transit.push((in_port, msg));
                 }
@@ -848,6 +1333,20 @@ impl Plugin for StaticBubblePlugin {
             for (in_port, msg) in &transit {
                 for action in self.evaluate_transit(core, router, *in_port, msg) {
                     let Action::Forward { out, msg: fwd } = action else {
+                        let Action::Drop(reason) = action else {
+                            unreachable!()
+                        };
+                        self.counters.note_drop(reason);
+                        self.record(ProtoEvent::Drop {
+                            time: now,
+                            router,
+                            in_port: *in_port,
+                            kind: msg.kind,
+                            sender: msg.sender,
+                            vnet: msg.vnet,
+                            turns: msg.turns.len(),
+                            reason,
+                        });
                         continue;
                     };
                     let slot = &mut per_out[out.index()];
@@ -855,13 +1354,25 @@ impl Plugin for StaticBubblePlugin {
                         None => true,
                         Some((_, cur_orig, _)) => beats(&fwd, cur_orig, &self.prot[router.index()]),
                     };
-                    if replace {
-                        if slot.is_some() {
-                            DBG_CONFLICT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        }
+                    let loser = if replace {
+                        let displaced = slot.take();
                         *slot = Some((*in_port, msg.clone(), fwd));
+                        displaced.map(|(p, orig, _)| (p, orig))
                     } else {
-                        DBG_CONFLICT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        Some((*in_port, msg.clone()))
+                    };
+                    if let Some((p, m)) = loser {
+                        self.counters.note_drop(DropReason::OutputConflict);
+                        self.record(ProtoEvent::Drop {
+                            time: now,
+                            router,
+                            in_port: p,
+                            kind: m.kind,
+                            sender: m.sender,
+                            vnet: m.vnet,
+                            turns: m.turns.len(),
+                            reason: DropReason::OutputConflict,
+                        });
                     }
                 }
             }
@@ -876,9 +1387,33 @@ impl Plugin for StaticBubblePlugin {
                     .evaluate_transit(core, router, in_port, &orig)
                     .iter()
                     .any(|a| matches!(a, Action::Forward { out: o, .. } if *o == out));
-                if still_ok && core.topology().link_alive(router, out) {
-                    self.apply_transit(core, router, in_port, out, &fwd);
+                if still_ok
+                    && core.topology().link_alive(router, out)
+                    && self.apply_transit(core, router, in_port, out, &fwd)
+                {
+                    self.record(ProtoEvent::Forward {
+                        time: now,
+                        router,
+                        in_port,
+                        out,
+                        kind: fwd.kind,
+                        sender: fwd.sender,
+                        vnet: fwd.vnet,
+                        turns: fwd.turns.len(),
+                    });
                     self.send(core, router, out, fwd);
+                } else {
+                    self.counters.note_drop(DropReason::Revalidation);
+                    self.record(ProtoEvent::Drop {
+                        time: now,
+                        router,
+                        in_port,
+                        kind: orig.kind,
+                        sender: orig.sender,
+                        vnet: orig.vnet,
+                        turns: orig.turns.len(),
+                        reason: DropReason::Revalidation,
+                    });
                 }
             }
         }
@@ -1149,9 +1684,66 @@ impl Plugin for StaticBubblePlugin {
         }
     }
 
+    fn trace_lines(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.events_lost > 0 {
+            out.push(format!(
+                "... {} earlier events discarded (ring capacity {})",
+                self.events_lost, TRACE_EVENT_CAP
+            ));
+            self.events_lost = 0;
+        }
+        out.extend(self.events.drain(..).map(|e| e.line()));
+        out
+    }
+
+    fn set_tracing(&mut self, enable: bool) {
+        self.trace_on = enable;
+        if !enable {
+            self.events.clear();
+            self.events_lost = 0;
+        }
+    }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        sb_sim::json::to_json_string(&SbState {
+            fsms: self.fsms.values().cloned().collect(),
+            prot: self.prot.clone(),
+            in_flight: self.in_flight.clone(),
+            tdd: self.tdd,
+            restriction_ttl: self.restriction_ttl,
+            opts: self.opts,
+            recent: self.recent.iter().cloned().collect(),
+            last_tick: self.last_tick,
+            counters: self.counters,
+            trace_on: self.trace_on,
+            events: self.events.iter().cloned().collect(),
+            events_lost: self.events_lost,
+        })
+        .map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let state: SbState = sb_sim::json::from_json_str(blob).map_err(|e| e.0)?;
+        self.fsms = state.fsms.into_iter().map(|f| (f.node, f)).collect();
+        self.prot = state.prot;
+        self.in_flight = state.in_flight;
+        self.tdd = state.tdd;
+        self.restriction_ttl = state.restriction_ttl;
+        self.opts = state.opts;
+        self.recent = state.recent.into();
+        self.last_tick = state.last_tick;
+        self.counters = state.counters;
+        self.trace_on = state.trace_on;
+        self.events = state.events.into();
+        self.events_lost = state.events_lost;
+        Ok(())
+    }
+
     fn forensic_lines(&self, core: &NetCore) -> Vec<String> {
         let _ = core;
         let mut lines = Vec::new();
+        lines.push(format!("proto counters: {}", self.counters.summary()));
         for (&node, fsm) in &self.fsms {
             if fsm.state == FsmState::SOff {
                 continue;
@@ -1203,28 +1795,25 @@ impl Plugin for StaticBubblePlugin {
     }
 }
 
-/// Temporary debug counters for probe drop reasons.
-pub static DBG_LOWER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// not-all-occupied drops
-pub static DBG_NOTOCC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// conflict drops
-pub static DBG_CONFLICT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// capacity drops
-pub static DBG_CAP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// live tracing toggle
-pub static DBG_TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-/// disable dropped: at in-recovery SB node
-pub static DBG_D_RECOV: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// disable dropped: router already frozen
-pub static DBG_D_FROZEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// disable dropped: dependence validation failed
-pub static DBG_D_VALID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// probe returns
-pub static DBG_RETURN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// probe latches
-pub static DBG_LATCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-/// disable returns that failed validation
-pub static DBG_DISFAIL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Snapshot blob of the plugin's complete mutable state
+/// ([`sb_sim::Plugin::snapshot_state`]). The FSM map is flattened to a
+/// vector (each [`SbFsm`] carries its node id) so the blob stays plain
+/// JSON arrays/objects.
+#[derive(Serialize, Deserialize)]
+struct SbState {
+    fsms: Vec<SbFsm>,
+    prot: Vec<ProtState>,
+    in_flight: Vec<InFlightMsg>,
+    tdd: u64,
+    restriction_ttl: u64,
+    opts: SbOptions,
+    recent: Vec<MsgRecord>,
+    last_tick: Option<u64>,
+    counters: ProtoCounters,
+    trace_on: bool,
+    events: Vec<ProtoEvent>,
+    events_lost: u64,
+}
 
 /// Does `a` beat `b` for the same output port? Priority first; a
 /// disable/enable collision is resolved by the local `is_deadlock` bit;
@@ -1313,6 +1902,8 @@ mod tests {
         let opts = SbOptions::default();
         assert!(opts.forking);
         assert!(opts.check_probe);
+        assert!(opts.return_forwarding);
+        assert!(opts.probe_desync);
     }
 
     #[test]

@@ -310,26 +310,34 @@ fn kind_label(kind: FaultKind) -> &'static str {
 }
 
 fn parse_variant(label: &str) -> Result<SbOptions, SpecError> {
+    let full = SbOptions::default();
     Ok(match label {
-        "full" => SbOptions {
-            forking: true,
-            check_probe: true,
-        },
+        "full" => full,
         "no-forking" => SbOptions {
             forking: false,
-            check_probe: true,
+            ..full
         },
         "no-check-probe" => SbOptions {
-            forking: true,
             check_probe: false,
+            ..full
         },
         "neither" => SbOptions {
             forking: false,
             check_probe: false,
+            ..full
+        },
+        "no-return-forwarding" => SbOptions {
+            return_forwarding: false,
+            ..full
+        },
+        "no-desync" => SbOptions {
+            probe_desync: false,
+            ..full
         },
         other => {
             return Err(SpecError(format!(
-                "unknown SB variant `{other}` (full | no-forking | no-check-probe | neither)"
+                "unknown SB variant `{other}` (full | no-forking | no-check-probe | neither | \
+                 no-return-forwarding | no-desync)"
             )))
         }
     })

@@ -33,11 +33,14 @@
 
 pub mod design;
 pub mod id;
-pub mod json;
 pub mod runner;
 pub mod spec;
 pub mod toml;
-pub mod value;
+
+// The JSON codec lives in `sb-sim` since the engine snapshots serialize
+// through it; re-exported here so `sb_scenario::{json, value}` paths (and
+// the crate-internal `crate::value::...` users) are unchanged.
+pub use sb_sim::{json, value};
 
 pub use design::{Design, RunOutcome, T_DD};
 pub use id::{fnv1a, ScenarioId};

@@ -11,7 +11,8 @@
 use std::any::Any;
 
 use sb_sim::{
-    ClockMode, EscapeVcPlugin, ForensicsReport, NetCore, Plugin, Simulator, Stats, TrafficSource,
+    ClockMode, EngineSnapshot, EscapeVcPlugin, ForensicsReport, NetCore, Plugin, Simulator, Stats,
+    TrafficSource,
 };
 
 /// A live simulation, abstracted over plugin and traffic types.
@@ -51,6 +52,20 @@ pub trait SimRunner {
     /// Take the most recent forensics report (audit failure or detected
     /// deadlock), leaving `None` behind.
     fn take_forensics(&mut self) -> Option<ForensicsReport>;
+    /// Push a snapshot into the ring every `every` cycles (0 = off). See
+    /// [`sb_sim::EngineSnapshot`].
+    fn set_snapshot_every(&mut self, every: u64);
+    /// Capture an on-demand snapshot of the full engine state.
+    fn snapshot(&self) -> Result<EngineSnapshot, String>;
+    /// Rewind the simulation to a previously captured snapshot.
+    fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), String>;
+    /// The most recent ring snapshot, if any (cloned out so the caller can
+    /// keep it across further runs).
+    fn last_snapshot(&self) -> Option<EngineSnapshot>;
+    /// Toggle per-event protocol tracing on the deadlock plugin (see
+    /// [`sb_sim::Plugin::set_tracing`]). Free when off; plugins without
+    /// tracing ignore it.
+    fn set_tracing(&mut self, enable: bool);
     /// The deadlock plugin, type-erased; downcast to the concrete type.
     fn plugin_any(&self) -> &dyn Any;
     /// The traffic source, type-erased; downcast to the concrete type.
@@ -124,6 +139,26 @@ impl<P: Plugin + 'static, T: TrafficSource + 'static> SimRunner for Runner<P, T>
 
     fn take_forensics(&mut self) -> Option<ForensicsReport> {
         self.0.take_forensics()
+    }
+
+    fn set_snapshot_every(&mut self, every: u64) {
+        self.0.set_snapshot_every(every);
+    }
+
+    fn snapshot(&self) -> Result<EngineSnapshot, String> {
+        self.0.snapshot()
+    }
+
+    fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), String> {
+        self.0.restore(snap)
+    }
+
+    fn last_snapshot(&self) -> Option<EngineSnapshot> {
+        self.0.last_snapshot().cloned()
+    }
+
+    fn set_tracing(&mut self, enable: bool) {
+        self.0.plugin_mut().set_tracing(enable);
     }
 
     fn plugin_any(&self) -> &dyn Any {

@@ -113,6 +113,15 @@ pub struct Scenario {
     pub sb_forking: bool,
     /// Check-probe fast path ablation switch (footnote 7: on).
     pub sb_check_probe: bool,
+    /// Returned-probe forwarding ablation switch (on: a returned probe
+    /// whose walk did not close re-circulates as transit; off silently
+    /// drops it at the sender — see `DESIGN.md` §12).
+    pub sb_return_forwarding: bool,
+    /// Probe-retry desynchronization ablation switch (on: backed-off
+    /// retry periods carry a node-unique term; off reproduces the
+    /// phase-locked probe collisions that wedge the pinned pipeline
+    /// seeds — see `DESIGN.md` §12).
+    pub sb_probe_desync: bool,
     /// Warmup cycles before the measurement window.
     pub warmup: u64,
     /// Measurement-window cycles.
@@ -122,6 +131,12 @@ pub struct Scenario {
     /// Run the invariant auditor every this-many cycles (0 = off, the
     /// production default). See [`sb_sim::audit`].
     pub audit_every: u64,
+    /// Capture an [`sb_sim::EngineSnapshot`] into the engine's ring every
+    /// this-many cycles (0 = off). The ring keeps the last
+    /// [`sb_sim::SNAPSHOT_RING`] captures, so after a wedge the snapshot
+    /// nearest-before the terminal deadlock is available for `--bisect`
+    /// replay.
+    pub snapshot_every: u64,
     /// Clock discipline: [`ClockMode::Step`] executes every cycle (the
     /// default); [`ClockMode::Leap`] jumps over provably-dead cycles and
     /// switches synthetic traffic to the equivalent geometric inter-arrival
@@ -151,10 +166,13 @@ impl Scenario {
             tdd: T_DD,
             sb_forking: true,
             sb_check_probe: true,
+            sb_return_forwarding: true,
+            sb_probe_desync: true,
             warmup: 1_000,
             cycles: 10_000,
             seed: 1,
             audit_every: 0,
+            snapshot_every: 0,
             clock: ClockMode::Step,
         }
     }
@@ -223,6 +241,8 @@ impl Scenario {
     pub fn with_sb_options(mut self, opts: SbOptions) -> Self {
         self.sb_forking = opts.forking;
         self.sb_check_probe = opts.check_probe;
+        self.sb_return_forwarding = opts.return_forwarding;
+        self.sb_probe_desync = opts.probe_desync;
         self
     }
 
@@ -250,6 +270,13 @@ impl Scenario {
         self
     }
 
+    /// Capture an engine snapshot into the ring every `every` cycles
+    /// (0 = off). See [`Scenario::snapshot_every`].
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
     /// Set the clock discipline (see [`Scenario::clock`]).
     pub fn with_clock(mut self, clock: ClockMode) -> Self {
         self.clock = clock;
@@ -266,6 +293,8 @@ impl Scenario {
         SbOptions {
             forking: self.sb_forking,
             check_probe: self.sb_check_probe,
+            return_forwarding: self.sb_return_forwarding,
+            probe_desync: self.sb_probe_desync,
         }
     }
 
@@ -370,6 +399,7 @@ impl Scenario {
             }
         };
         runner.set_audit(self.audit_every);
+        runner.set_snapshot_every(self.snapshot_every);
         runner.set_clock(self.clock);
         runner
     }

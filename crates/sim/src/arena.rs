@@ -77,7 +77,11 @@ impl Default for PacketHandle {
 }
 
 /// Slab storage for every live [`Packet`], addressed by [`PacketHandle`].
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes losslessly — slots, generations and the free list all travel
+/// — so handles captured in an [`crate::EngineSnapshot`] stay valid after
+/// a restore.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PacketArena {
     slots: Vec<Option<Packet>>,
     gens: Vec<u8>,

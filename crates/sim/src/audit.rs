@@ -104,6 +104,12 @@ pub struct ForensicsReport {
     /// restrictions, recent special-message history
     /// ([`crate::Plugin::forensic_lines`]).
     pub plugin_lines: Vec<String>,
+    /// Probe-trajectory trace drained from the plugin at capture time
+    /// ([`crate::Plugin::trace_lines`]): per-probe hop/fork/drop events and
+    /// the exact latch-condition evaluation at every probe return. Empty
+    /// unless tracing was enabled ([`crate::Plugin::set_tracing`]) — the
+    /// `--bisect` replay turns it on.
+    pub probe_trace: Vec<String>,
     /// The statistics block at capture time.
     pub stats: Stats,
 }
@@ -132,6 +138,9 @@ impl std::fmt::Display for ForensicsReport {
         for line in &self.plugin_lines {
             writeln!(f, "plugin: {line}")?;
         }
+        for line in &self.probe_trace {
+            writeln!(f, "trace: {line}")?;
+        }
         write!(f, "{}", self.occupancy_art)
     }
 }
@@ -140,8 +149,15 @@ impl ForensicsReport {
     /// Assemble a report from the current network state. `violations` are
     /// whatever the audit pass collected (may be empty when the trigger was
     /// the deadlock oracle); `plugin_lines` comes from
-    /// [`crate::Plugin::forensic_lines`].
-    pub fn capture(core: &NetCore, violations: Vec<Violation>, plugin_lines: Vec<String>) -> Self {
+    /// [`crate::Plugin::forensic_lines`]; `probe_trace` from
+    /// [`crate::Plugin::trace_lines`] (pass empty when tracing is off or
+    /// the plugin is only borrowed immutably).
+    pub fn capture(
+        core: &NetCore,
+        violations: Vec<Violation>,
+        plugin_lines: Vec<String>,
+        probe_trace: Vec<String>,
+    ) -> Self {
         ForensicsReport {
             time: core.time(),
             violations,
@@ -150,6 +166,7 @@ impl ForensicsReport {
             snapshot: Snapshot::capture(core),
             occupancy_art: core.occupancy_art(),
             plugin_lines,
+            probe_trace,
             stats: core.stats().clone(),
         }
     }

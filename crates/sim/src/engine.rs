@@ -7,6 +7,7 @@ use crate::deadlock;
 use crate::netcore::{head_of, MoveEvent, NetCore, QueuedPacket, EJECT};
 use crate::packet::{NewPacket, Packet, PacketMode};
 use crate::plugin::{InputRef, OutPort, Plugin, SlotRef};
+use crate::snapshot::EngineSnapshot;
 use crate::traffic::TrafficSource;
 use crate::vc::VcRef;
 use rand::rngs::StdRng;
@@ -15,6 +16,12 @@ use sb_routing::{Route, RouteSource};
 use sb_topology::{Direction, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// How many periodic snapshots the engine retains (oldest evicted first).
+/// Two is enough for deadlock bisection — the report of interest is the
+/// newest snapshot strictly before detection, with one older spare for
+/// context — while keeping the memory cost of `set_snapshot_every` flat.
+pub const SNAPSHOT_RING: usize = 2;
 
 /// Router + link pipeline depth: a granted head is switchable at the next
 /// router after 2 cycles (1-cycle router, 1-cycle link — Table II).
@@ -65,6 +72,15 @@ pub struct Simulator<P: Plugin, T: TrafficSource> {
     /// The most recent forensics report (violation or oracle-detected
     /// deadlock), retrieved with [`Simulator::take_forensics`].
     last_forensics: Option<ForensicsReport>,
+    /// Periodic snapshot cadence in cycles, 0 = off (see
+    /// [`Simulator::set_snapshot_every`]).
+    snapshot_every: u64,
+    /// Next cycle at which a periodic snapshot is due (compared against
+    /// simulated time, so leaps cannot skip past a capture silently —
+    /// a leap landing beyond the boundary captures on its first tick).
+    next_snapshot_at: u64,
+    /// Ring of the most recent periodic snapshots, newest last.
+    snapshot_ring: VecDeque<EngineSnapshot>,
 }
 
 impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
@@ -106,6 +122,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             audit_every: 0,
             audit_countdown: 0,
             last_forensics: None,
+            snapshot_every: 0,
+            next_snapshot_at: 0,
+            snapshot_ring: VecDeque::new(),
         }
     }
 
@@ -137,6 +156,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             &self.core,
             violations,
             self.plugin.forensic_lines(&self.core),
+            self.plugin.trace_lines(),
         );
         self.last_forensics = Some(report.clone());
         Some(report)
@@ -146,6 +166,113 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
     /// oracle-detected deadlock in [`Simulator::run_until_deadlock`]).
     pub fn take_forensics(&mut self) -> Option<ForensicsReport> {
         self.last_forensics.take()
+    }
+
+    /// Capture a complete [`EngineSnapshot`] of the current state.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the plugin or traffic source cannot serialize its
+    /// state ([`Plugin::snapshot_state`] / [`TrafficSource::snapshot_state`]).
+    pub fn snapshot(&self) -> Result<EngineSnapshot, String> {
+        Ok(EngineSnapshot {
+            time: self.core.time(),
+            core: self.core.clone(),
+            rng: self.rng.state(),
+            clock: self.clock,
+            injection_halted: self.injection_halted,
+            full_scan: self.full_scan,
+            audit_every: self.audit_every,
+            audit_countdown: self.audit_countdown,
+            plugin: self.plugin.snapshot_state()?,
+            traffic: self.traffic.snapshot_state()?,
+        })
+    }
+
+    /// Restore a snapshot into this simulator, which must have been built
+    /// from the **same scenario** (same topology, config, planner, plugin
+    /// and traffic constructor arguments). The network state is replaced
+    /// wholesale; every subsequent cycle is bit-identical to the run the
+    /// snapshot was captured from (see [`crate::snapshot`] module docs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a config/mesh mismatch or if the plugin/traffic blobs do
+    /// not parse. A blob failure can leave the plugin restored but the
+    /// rest untouched — rebuild the simulator rather than continuing.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), String> {
+        if snap.core.config() != self.core.config() {
+            return Err("snapshot config differs from this simulator's".to_string());
+        }
+        if snap.core.topology().mesh() != self.core.topology().mesh() {
+            return Err("snapshot mesh differs from this simulator's".to_string());
+        }
+        self.plugin
+            .restore_state(&snap.plugin)
+            .map_err(|e| format!("plugin restore: {e}"))?;
+        self.traffic
+            .restore_state(&snap.traffic)
+            .map_err(|e| format!("traffic restore: {e}"))?;
+        self.core = snap.core.clone();
+        self.rng = StdRng::from_state(snap.rng);
+        self.clock = snap.clock;
+        self.injection_halted = snap.injection_halted;
+        self.full_scan = snap.full_scan;
+        self.audit_every = snap.audit_every;
+        self.audit_countdown = snap.audit_countdown;
+        self.last_forensics = None;
+        self.next_snapshot_at = self.core.time().saturating_add(self.snapshot_every.max(1));
+        Ok(())
+    }
+
+    /// Enable periodic snapshot capture: every `every` cycles the engine
+    /// records an [`EngineSnapshot`] into a ring of the
+    /// [`SNAPSHOT_RING`] most recent. `0` disables (the default). Capture
+    /// is read-only — it cannot perturb the simulation — so a run with
+    /// snapshots enabled stays bit-identical to one without.
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.snapshot_every = every;
+        self.next_snapshot_at = self.core.time().saturating_add(every.max(1));
+        if every == 0 {
+            self.snapshot_ring.clear();
+        }
+    }
+
+    /// The retained periodic snapshots, oldest first. After
+    /// [`Simulator::run_until_deadlock`] detects a deadlock, the last
+    /// entry is the capture nearest (at or) before detection — the bisect
+    /// replay point.
+    pub fn snapshots(&self) -> impl Iterator<Item = &EngineSnapshot> {
+        self.snapshot_ring.iter()
+    }
+
+    /// The most recent periodic snapshot, if any was captured.
+    pub fn last_snapshot(&self) -> Option<&EngineSnapshot> {
+        self.snapshot_ring.back()
+    }
+
+    /// Out-of-line periodic capture, cold for the same reason as
+    /// [`Simulator::audit_tick`].
+    #[cold]
+    #[inline(never)]
+    fn snapshot_tick(&mut self) {
+        if self.core.time() < self.next_snapshot_at {
+            return;
+        }
+        self.next_snapshot_at = self.core.time().saturating_add(self.snapshot_every.max(1));
+        match self.snapshot() {
+            Ok(snap) => {
+                if self.snapshot_ring.len() >= SNAPSHOT_RING {
+                    self.snapshot_ring.pop_front();
+                }
+                self.snapshot_ring.push_back(snap);
+            }
+            Err(e) => {
+                // A plugin without snapshot support cannot fail the run;
+                // periodic capture just stays empty.
+                debug_assert!(false, "periodic snapshot failed: {e}");
+            }
+        }
     }
 
     fn collect_violations(&mut self) -> Vec<Violation> {
@@ -292,6 +419,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
             last_forensics: self.last_forensics,
+            snapshot_every: self.snapshot_every,
+            next_snapshot_at: self.next_snapshot_at,
+            snapshot_ring: self.snapshot_ring,
         }
     }
 
@@ -326,6 +456,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             audit_every: self.audit_every,
             audit_countdown: self.audit_countdown,
             last_forensics: self.last_forensics,
+            snapshot_every: self.snapshot_every,
+            next_snapshot_at: self.next_snapshot_at,
+            snapshot_ring: self.snapshot_ring,
         }
     }
 
@@ -486,6 +619,9 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
         if self.audit_every > 0 {
             self.audit_tick();
         }
+        if self.snapshot_every > 0 {
+            self.snapshot_tick();
+        }
     }
 
     /// Out-of-line countdown + audit + panic path, kept `#[cold]` so the
@@ -603,10 +739,13 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
             audit::check_conservation(&self.core, &mut violations);
             audit::check_vc_legality(&self.core, &mut violations);
             if !violations.is_empty() {
+                // `&self` here: the trace stays in the plugin's buffer (the
+                // report is rendered into a panic anyway).
                 let report = ForensicsReport::capture(
                     &self.core,
                     violations,
                     self.plugin.forensic_lines(&self.core),
+                    Vec::new(),
                 );
                 panic!("invariant audit failed at oracle call:\n{report}");
             }
@@ -638,6 +777,7 @@ impl<P: Plugin, T: TrafficSource> Simulator<P, T> {
                     &self.core,
                     Vec::new(),
                     self.plugin.forensic_lines(&self.core),
+                    self.plugin.trace_lines(),
                 ));
                 return Some(self.time());
             }

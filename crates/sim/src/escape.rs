@@ -196,6 +196,39 @@ impl Plugin for EscapeVcPlugin {
         }
         best
     }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        crate::json::to_json_string(&EscapeState {
+            stalls: self.stalls.clone(),
+            tracked: self.tracked,
+            escapes: self.escapes,
+            last_tick: self.last_tick,
+            rng: self.rng.state(),
+        })
+        .map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let state: EscapeState = crate::json::from_json_str(blob).map_err(|e| e.0)?;
+        self.stalls = state.stalls;
+        self.tracked = state.tracked;
+        self.escapes = state.escapes;
+        self.last_tick = state.last_tick;
+        self.rng = rand::rngs::StdRng::from_state(state.rng);
+        Ok(())
+    }
+}
+
+/// Snapshot blob of the escape plugin's mutable state. The up*/down*
+/// spanning tree is a pure function of the topology and is rebuilt by the
+/// constructor on restore.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EscapeState {
+    stalls: Vec<Option<(PacketId, u64)>>,
+    tracked: usize,
+    escapes: u64,
+    last_tick: Option<u64>,
+    rng: [u64; 4],
 }
 
 #[cfg(test)]

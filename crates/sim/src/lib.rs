@@ -48,12 +48,15 @@ pub mod deadlock;
 pub mod engine;
 pub mod escape;
 pub mod inspect;
+pub mod json;
 pub mod netcore;
 pub mod packet;
 pub mod plugin;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod traffic;
+pub mod value;
 pub mod vc;
 
 pub use arena::{PacketArena, PacketHandle};
@@ -68,6 +71,7 @@ pub use inspect::Snapshot;
 pub use netcore::{MoveEvent, NetCore, Resident};
 pub use packet::{NewPacket, Packet, PacketId, PacketMode};
 pub use plugin::{InputRef, NullPlugin, OutPort, Plugin, SlotRef};
+pub use snapshot::EngineSnapshot;
 pub use stats::{SpecialClass, Stats, MAX_VNETS};
 pub use trace::{TraceEvent, Traced};
 pub use traffic::{

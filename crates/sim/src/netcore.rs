@@ -40,6 +40,7 @@ use crate::stats::{Stats, MAX_VNETS};
 use crate::vc::VcRef;
 use sb_routing::Route;
 use sb_topology::{Direction, NodeId, NodeSet, Topology, DIRECTIONS};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Index of the ejection "link" in per-output busy arrays.
@@ -65,7 +66,7 @@ pub(crate) fn head_of(pkt: &Packet) -> u8 {
 
 /// One committed packet movement, recorded for plugins to inspect in
 /// [`crate::Plugin::after_cycle`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MoveEvent {
     /// Router the grant happened at.
     pub router: NodeId,
@@ -104,7 +105,7 @@ pub struct Resident {
 /// the descriptor reaches the head of its queue — under saturation a
 /// source queues far more packets than it ever injects, and the deferred
 /// work dominates the per-offer cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct QueuedPacket {
     /// Packet id, assigned in offer order at the NI.
     pub(crate) id: PacketId,
@@ -127,7 +128,7 @@ pub(crate) struct QueuedPacket {
 /// materialized — routed, arena-resident, and competing for the crossbar;
 /// the tail holds [`QueuedPacket`] descriptors in offer order. Invariant:
 /// a non-empty tail implies a materialized head.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct InjectQueue {
     /// Arena handle of the head packet (`NONE` = queue empty).
     pub(crate) head: PacketHandle,
@@ -157,7 +158,11 @@ impl InjectQueue {
 }
 
 /// The complete mutable state of the simulated network.
-#[derive(Debug, Clone)]
+///
+/// Serializes losslessly (every field, including the worklist, wheel and
+/// scratch vectors) so an [`crate::EngineSnapshot`] round-trip resumes
+/// bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetCore {
     topo: Topology,
     cfg: SimConfig,

@@ -166,6 +166,35 @@ pub trait Plugin {
         let _ = core;
         None
     }
+
+    /// Serialize the plugin's complete mutable state as a JSON blob for an
+    /// [`crate::EngineSnapshot`]. The contract: restoring this blob into a
+    /// freshly built plugin (same constructor arguments) via
+    /// [`Plugin::restore_state`] must resume bit-identically to never
+    /// having snapshotted at all. The default suits stateless plugins.
+    fn snapshot_state(&self) -> Result<String, String> {
+        Ok("null".to_string())
+    }
+
+    /// Restore state captured by [`Plugin::snapshot_state`] into `self`
+    /// (freshly constructed for the same scenario).
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let _ = blob;
+        Ok(())
+    }
+
+    /// Drain accumulated protocol trace events as human-readable lines
+    /// (empty unless the plugin implements tracing and it was enabled).
+    /// Folded into [`crate::audit::ForensicsReport::probe_trace`].
+    fn trace_lines(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Enable or disable protocol event tracing (default: no-op — the null
+    /// and escape plugins have no trace machinery).
+    fn set_tracing(&mut self, enable: bool) {
+        let _ = enable;
+    }
 }
 
 /// The no-mechanism plugin: plain VC allocation, no vetoes, no bubbles.

@@ -1,0 +1,79 @@
+//! Complete-engine snapshots for checkpoint / resume / deadlock bisection
+//! (system **S13**, see `DESIGN.md` §12).
+//!
+//! An [`EngineSnapshot`] captures *everything* that determines the future
+//! of a simulation: the entire [`crate::NetCore`] (SoA VC tables, arena,
+//! worklist, time wheel, injection queues, stats), the shared engine RNG,
+//! the clock/audit/injection switches, and the plugin's and traffic
+//! source's own state as opaque JSON blobs (via
+//! [`crate::Plugin::snapshot_state`] /
+//! [`crate::traffic::TrafficSource::snapshot_state`]).
+//!
+//! The determinism contract: build a fresh simulator from the same
+//! scenario, [`crate::Simulator::restore`] the snapshot into it, and every
+//! subsequent cycle — Stats, ForensicsReports, RNG draws — is
+//! bit-identical to the run that never stopped. The topology travels
+//! inside the serialized `NetCore`; the route *planner* is not captured
+//! and must be reconstructed deterministically from the same scenario
+//! spec, so a snapshot taken after a mid-run `reconfigure` must be
+//! restored into a simulator built with the post-reconfiguration planner.
+
+use crate::engine::ClockMode;
+use crate::netcore::NetCore;
+use crate::value::SpecError;
+use serde::{Deserialize, Serialize};
+
+/// A complete, serializable engine checkpoint. See the module docs for the
+/// resume contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Cycle the snapshot was taken at (redundant with `core`'s clock,
+    /// kept explicit for humans reading the JSON).
+    pub time: u64,
+    /// The complete network state.
+    pub core: NetCore,
+    /// Raw state of the shared engine RNG (xoshiro256**).
+    pub rng: [u64; 4],
+    /// Clock advance policy at capture time.
+    pub clock: ClockMode,
+    /// Whether injection was halted.
+    pub injection_halted: bool,
+    /// Whether the reference full-sweep allocator was active.
+    pub full_scan: bool,
+    /// Audit cadence.
+    pub audit_every: u64,
+    /// Cycles left until the next scheduled audit pass.
+    pub audit_countdown: u64,
+    /// The plugin's state blob ([`crate::Plugin::snapshot_state`]).
+    pub plugin: String,
+    /// The traffic source's state blob
+    /// ([`crate::traffic::TrafficSource::snapshot_state`]).
+    pub traffic: String,
+}
+
+impl EngineSnapshot {
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> Result<String, SpecError> {
+        crate::json::to_json_string(self)
+    }
+
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        crate::json::from_json_str(text)
+    }
+
+    /// Write to a file as JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), SpecError> {
+        let path = path.as_ref();
+        let text = self.to_json()?;
+        std::fs::write(path, text).map_err(|e| SpecError(format!("write {}: {e}", path.display())))
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError(format!("read {}: {e}", path.display())))?;
+        Self::from_json(&text).map_err(|e| SpecError(format!("parse {}: {e}", path.display())))
+    }
+}

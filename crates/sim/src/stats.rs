@@ -94,6 +94,11 @@ pub struct Stats {
     pub special_link_flits: [u64; 4],
     /// Probes sent (FSM timeouts that emitted a probe).
     pub probes_sent: u64,
+    /// Returned probes discarded at their sender because the FSM was
+    /// mid-recovery (one recovery at a time). A silently-rising value here
+    /// with `deadlocks_recovered` flat is the signature of a recovery that
+    /// cannot make progress.
+    pub probes_dropped: u64,
     /// Deadlocks recovered (disable returned and a bubble was activated).
     pub deadlocks_recovered: u64,
 }
@@ -195,6 +200,7 @@ impl Stats {
             self.special_link_flits[c] += other.special_link_flits[c];
         }
         self.probes_sent += other.probes_sent;
+        self.probes_dropped += other.probes_dropped;
         self.deadlocks_recovered += other.deadlocks_recovered;
     }
 

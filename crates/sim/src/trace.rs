@@ -216,6 +216,28 @@ impl<T: TrafficSource> TrafficSource for Traced<T> {
     fn next_arrival(&self, now: u64) -> Option<u64> {
         self.inner.next_arrival(now)
     }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        crate::json::to_json_string(&TracedState {
+            events: self.events.clone(),
+            inner: self.inner.snapshot_state()?,
+        })
+        .map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let state: TracedState = crate::json::from_json_str(blob).map_err(|e| e.0)?;
+        self.events = state.events;
+        self.inner.restore_state(&state.inner)
+    }
+}
+
+/// Snapshot blob of a [`Traced`] decorator: the recorded events plus the
+/// wrapped source's own blob, nested as an opaque string.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TracedState {
+    events: Vec<TraceEvent>,
+    inner: String,
 }
 
 #[cfg(test)]

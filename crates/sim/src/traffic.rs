@@ -18,6 +18,7 @@ use crate::packet::{NewPacket, Packet};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sb_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
 
 /// Produces injection requests each cycle and observes deliveries (for
 /// closed-loop workloads).
@@ -66,6 +67,22 @@ pub trait TrafficSource {
     /// Default: no-op. Wrapper sources must forward this to their inner
     /// source.
     fn on_topology_change(&mut self) {}
+
+    /// Serialize the source's complete mutable state as a JSON blob for an
+    /// [`crate::EngineSnapshot`]. Restoring it into a freshly built source
+    /// (same constructor arguments) via [`TrafficSource::restore_state`]
+    /// must resume bit-identically. The default suits stateless sources;
+    /// sources with private RNG streams or cursors must override both.
+    fn snapshot_state(&self) -> Result<String, String> {
+        Ok("null".to_string())
+    }
+
+    /// Restore state captured by [`TrafficSource::snapshot_state`] into
+    /// `self` (freshly constructed for the same scenario).
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let _ = blob;
+        Ok(())
+    }
 }
 
 /// A memoized alive-node list: rebuilding it costs a full node walk plus an
@@ -193,6 +210,48 @@ impl GeomState {
             .map(|s| time.saturating_add(sample_gap(p, s) - 1))
             .collect();
         self.next_min = self.next.iter().copied().min().unwrap_or(u64::MAX);
+    }
+}
+
+/// Serializable mirror of a [`Sampler`] for [`crate::EngineSnapshot`]
+/// blobs: RNG streams travel as raw xoshiro words. The `AliveCache` is
+/// deliberately absent — it is a pure function of the topology, rebuilt on
+/// first use after a restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SamplerState {
+    geometric: bool,
+    streams: Vec<[u64; 4]>,
+    next: Vec<u64>,
+    next_min: u64,
+}
+
+impl Sampler {
+    fn snapshot(&self) -> SamplerState {
+        match self {
+            Sampler::Bernoulli => SamplerState {
+                geometric: false,
+                streams: Vec::new(),
+                next: Vec::new(),
+                next_min: u64::MAX,
+            },
+            Sampler::Geometric(st) => SamplerState {
+                geometric: true,
+                streams: st.streams.iter().map(StdRng::state).collect(),
+                next: st.next.clone(),
+                next_min: st.next_min,
+            },
+        }
+    }
+
+    fn restore(state: SamplerState) -> Self {
+        if !state.geometric {
+            return Sampler::Bernoulli;
+        }
+        Sampler::Geometric(GeomState {
+            streams: state.streams.into_iter().map(StdRng::from_state).collect(),
+            next: state.next,
+            next_min: state.next_min,
+        })
     }
 }
 
@@ -365,6 +424,17 @@ impl TrafficSource for UniformTraffic {
     fn on_topology_change(&mut self) {
         self.alive.valid = false;
     }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        crate::json::to_json_string(&self.sampler.snapshot()).map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let state: SamplerState = crate::json::from_json_str(blob).map_err(|e| e.0)?;
+        self.sampler = Sampler::restore(state);
+        self.alive.valid = false;
+        Ok(())
+    }
 }
 
 /// Bit-complement traffic: node (x, y) sends to (width−1−x, height−1−y).
@@ -479,6 +549,16 @@ impl TrafficSource for BitComplementTraffic {
             }
         }
     }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        crate::json::to_json_string(&self.sampler.snapshot()).map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        let state: SamplerState = crate::json::from_json_str(blob).map_err(|e| e.0)?;
+        self.sampler = Sampler::restore(state);
+        Ok(())
+    }
 }
 
 /// No traffic at all (drain phases, hand-constructed network states in
@@ -543,6 +623,24 @@ impl TrafficSource for ScriptedTraffic {
 
     fn next_arrival(&self, _now: u64) -> Option<u64> {
         self.events.get(self.cursor).map(|&(t, _)| t)
+    }
+
+    fn snapshot_state(&self) -> Result<String, String> {
+        // The event list is constructor input; only the cursor is state.
+        crate::json::to_json_string(&self.cursor).map_err(|e| e.0)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), String> {
+        self.cursor = crate::json::from_json_str(blob).map_err(|e| e.0)?;
+        if self.cursor > self.events.len() {
+            return Err(format!(
+                "scripted cursor {} beyond {} events — snapshot from a \
+                 different script?",
+                self.cursor,
+                self.events.len()
+            ));
+        }
+        Ok(())
     }
 }
 

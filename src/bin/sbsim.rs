@@ -41,6 +41,9 @@ const KNOWN_KEYS: &[&str] = &[
     "scenario",
     "dump-scenario",
     "clock",
+    "snapshot-every",
+    "bisect",
+    "drain",
 ];
 
 impl Cli {
@@ -144,10 +147,59 @@ fn apply_flags(cli: &Cli, mut s: Scenario) -> Scenario {
             }
         });
     }
+    if cli.flag("snapshot-every") {
+        s = s.with_snapshot_every(cli.get("snapshot-every", 0u64));
+    }
     s.with_warmup(warmup)
         .with_cycles(cycles)
         .with_tdd(tdd)
         .with_seed(seed)
+}
+
+/// Rewind a wedged run to its last ring snapshot and replay the tail with
+/// the auditor on every cycle and protocol tracing enabled, then print the
+/// forensics report. Replay is deterministic (the snapshot carries the RNG,
+/// clock and plugin state), so the wedge reproduces exactly — but this time
+/// every probe hop, latch and drop is on the record.
+fn bisect(sim: &mut dyn SimRunner) {
+    let wedge_time = sim.time();
+    if !sim.deadlocked_now() {
+        println!("bisect: oracle sees no deadlock at t={wedge_time}; nothing to replay");
+        return;
+    }
+    let Some(snap) = sim.last_snapshot() else {
+        println!("bisect: wedged at t={wedge_time}, but the snapshot ring is empty");
+        return;
+    };
+    println!(
+        "bisect: wedged at t={wedge_time}; replaying t={}..{wedge_time} \
+         with audit_every=1 and tracing",
+        snap.time
+    );
+    if let Err(e) = sim.restore(&snap) {
+        println!("bisect: restore failed: {e}");
+        return;
+    }
+    sim.set_tracing(true);
+    sim.set_audit(1);
+    // Replay to the original wedge time, plus a window long enough to cover
+    // several probe rounds even at maximum detection backoff — the wedge is
+    // a *recovery* failure, so the evidence is in what the probes do while
+    // the network stays stuck.
+    sim.run(wedge_time - sim.time() + 3_000);
+    // One more cycle so the oracle check lands after the replay and the
+    // capture drains the accumulated trace ring into the report.
+    match sim.run_until_deadlock(1, 1) {
+        Some(t) => println!("bisect: oracle re-fired at t={t}"),
+        None => println!(
+            "bisect: replay reached t={} without the oracle firing",
+            sim.time()
+        ),
+    }
+    match sim.take_forensics() {
+        Some(report) => println!("{report}"),
+        None => println!("bisect: no forensics report captured"),
+    }
 }
 
 fn main() {
@@ -158,7 +210,17 @@ fn main() {
              \x20            [--width 8] [--height 8] [--link-faults 0] [--router-faults 0]\n\
              \x20            [--rate 0.1] [--cycles 10000] [--warmup 1000] [--tdd 34]\n\
              \x20            [--seed 1] [--heatmap] [--clock step|leap]\n\
-             \x20            [--scenario FILE.toml|FILE.json] [--dump-scenario]"
+             \x20            [--scenario FILE.toml|FILE.json] [--dump-scenario]\n\
+             \x20            [--snapshot-every N] [--drain BUDGET] [--bisect]\n\
+             \n\
+             --drain: after the measured window, halt injection and run until\n\
+             the network empties (or BUDGET cycles pass) — the paper pipeline's\n\
+             wedge probe.\n\
+             --bisect: run the scenario (and drain, default budget 200000) with\n\
+             periodic engine snapshots; if the network ends wedged, rewind to\n\
+             the last snapshot and replay it with audit_every=1 and protocol\n\
+             tracing, then print the forensics report (FSM states, proto\n\
+             counters, probe trajectory)."
         );
         return;
     }
@@ -205,9 +267,34 @@ fn main() {
     }
 
     let mut sim: Box<dyn SimRunner> = scenario.build_on(&topo);
+    if cli.flag("bisect") && scenario.snapshot_every == 0 {
+        // Bisect needs something in the ring; a cadence of 1000 keeps the
+        // last snapshot close to the wedge while leaving the replay tail
+        // long enough to cover several backed-off probe rounds.
+        sim.set_snapshot_every(1000);
+    }
     sim.warmup(scenario.warmup);
     sim.run(scenario.cycles);
     report(sim.stats(), nodes);
+    if cli.flag("drain") || cli.flag("bisect") {
+        // `--drain` works both bare (default budget) and with a value.
+        let budget: u64 = match cli.0.get("drain").map(String::as_str) {
+            None | Some("true") => 200_000,
+            _ => cli.get("drain", 200_000u64),
+        };
+        sim.halt_injection();
+        let drained = sim.run_until_drained(budget);
+        println!(
+            "drain             : {} (t={}, {} packets in flight)",
+            if drained { "complete" } else { "STUCK" },
+            sim.time(),
+            sim.core().in_flight(),
+        );
+    }
+    if cli.flag("bisect") {
+        bisect(sim.as_mut());
+        return;
+    }
     if let Some(escapes) = sim.escapes() {
         println!("packets escaped   : {escapes}");
     }

@@ -169,6 +169,25 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256** state, for externally-managed snapshots.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a captured [`StdRng::state`].
+        ///
+        /// The all-zero state is xoshiro's fixed point and cannot be
+        /// produced by [`StdRng::state`]; it is nudged exactly as
+        /// `from_seed` nudges an all-zero seed.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+
         #[inline]
         fn step(&mut self) -> u64 {
             let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
