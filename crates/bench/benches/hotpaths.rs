@@ -190,6 +190,35 @@ fn bench_kernel(c: &mut Criterion) {
         sim.run(cycles);
         rows.push(("blocked", cycles, start.elapsed().as_secs_f64()));
     }
+    // The deterministic parallel tick, threads=1 vs threads=4, on the two
+    // regimes it targets: the unprotected 16×16 `saturated` case above,
+    // and the 256-core scale point (Static Bubble on 16×16 at
+    // deadlock-prone load, recovery active). Numbers from a 1-core box
+    // show threads=4 at or below threads=1 (the pre-pass then only adds
+    // handoff cost) — that is honest, not a regression; the multi-core
+    // speedup assertion lives in `scale256_smoke` and arms on >= 4-core
+    // CI runners.
+    for (name, design, rate, threads) in [
+        ("saturated_t1", Design::Unprotected, 0.6, 1usize),
+        ("saturated_t4", Design::Unprotected, 0.6, 4),
+        ("scale256_t1", Design::StaticBubble, 0.3, 1),
+        ("scale256_t4", Design::StaticBubble, 0.3, 4),
+    ] {
+        let cycles = 20_000u64;
+        let mut sim = Scenario::new(name, design)
+            .with_mesh(16, 16)
+            .with_traffic(TrafficSpec::Uniform {
+                rate,
+                single_vnet: true,
+            })
+            .with_seed(5)
+            .with_threads(threads)
+            .build();
+        sim.warmup(1_000);
+        let start = std::time::Instant::now();
+        sim.run(cycles);
+        rows.push((name, cycles, start.elapsed().as_secs_f64()));
+    }
 
     // Pre-SoA baselines (nested RouterState + per-hop Packet clones), kept
     // so the committed artifact records the before/after of the data-layout
@@ -245,6 +274,63 @@ fn bench_kernel(c: &mut Criterion) {
     }
 }
 
+/// The two halves of the separable allocator the parallel tick splits:
+/// `candidate_masks` (the read-only pre-pass sharded across workers) and
+/// the round-robin winner probe (always sequential, in commit order).
+/// Measured over a saturated 16×16 mesh — the regime where nearly every
+/// router holds switchable heads, i.e. the pre-pass's actual workload.
+fn bench_alloc_probes(c: &mut Criterion) {
+    use sb_sim::OutPort;
+    use sb_topology::{Direction, NodeId};
+
+    let topo = Topology::full(Mesh::new(16, 16));
+    let mut sim = Simulator::new(
+        &topo,
+        SimConfig::single_vnet(),
+        Box::new(MinimalRouting::new(&topo)),
+        NullPlugin,
+        UniformTraffic::new(0.6).single_vnet(),
+        5,
+    );
+    sim.run(3_000);
+    c.bench_function("alloc/candidate_masks_16x16_saturated", |b| {
+        let core = sim.core();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..256usize {
+                let mut cand = [0u64; 5];
+                core.candidate_masks(NodeId::from(std::hint::black_box(r)), &mut cand);
+                acc ^= cand[0] ^ cand[1] ^ cand[2] ^ cand[3] ^ cand[4];
+            }
+            acc
+        })
+    });
+    c.bench_function("alloc/find_winner_16x16_saturated", |b| {
+        b.iter(|| {
+            let mut wins = 0usize;
+            for r in 0..256usize {
+                let router = NodeId::from(std::hint::black_box(r));
+                let mut cand = [0u64; 5];
+                sim.core().candidate_masks(router, &mut cand);
+                for (out_idx, &mask) in cand.iter().enumerate() {
+                    if mask == 0 {
+                        continue;
+                    }
+                    let out = if out_idx == 4 {
+                        OutPort::Eject
+                    } else {
+                        OutPort::Dir(Direction::from_index(out_idx))
+                    };
+                    if sim.probe_winner(router, out, mask, 0).is_some() {
+                        wins += 1;
+                    }
+                }
+            }
+            wins
+        })
+    });
+}
+
 fn bench_oracle(c: &mut Criterion) {
     let topo = Topology::full(Mesh::new(8, 8));
     let mut sim = Simulator::new(
@@ -265,6 +351,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_placement, bench_routing, bench_simulator, bench_kernel,
-        bench_oracle, bench_tree_and_diversity, bench_bfc
+        bench_oracle, bench_tree_and_diversity, bench_bfc, bench_alloc_probes
 }
 criterion_main!(benches);

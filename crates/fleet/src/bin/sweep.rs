@@ -2,13 +2,15 @@
 //! JSON report.
 //!
 //! ```text
-//! sweep --spec grid.toml [--jobs N] [--out report.json] [--forensics] [--drain CYCLES]
-//!       [--cache-dir DIR] [--resume]
+//! sweep --spec grid.toml [--jobs N] [--threads N] [--out report.json] [--forensics]
+//!       [--drain CYCLES] [--cache-dir DIR] [--resume]
 //! ```
 //!
 //! `--jobs 1` is the sequential reference path; any other value produces
 //! byte-identical output (the equivalence suite proves it), so the flag is
-//! purely a wall-clock knob. So is `--cache-dir`: results memoize in a
+//! purely a wall-clock knob — and so is `--threads`, which overrides each
+//! scenario's intra-run thread count for the deterministic parallel tick.
+//! Both accept `0` for auto-detection from the machine's core count. So is `--cache-dir`: results memoize in a
 //! content-addressed store, a warm re-run of the same spec performs zero
 //! simulations and still emits byte-identical report bytes (the cold/warm
 //! axis of the same suite proves that), and `--resume` replays the grid's
@@ -28,6 +30,7 @@ use sb_fleet::{run_sweep_cached, CacheConfig, ExecOptions, SweepSpec};
 struct Cli {
     spec: String,
     jobs: usize,
+    threads: usize,
     out: String,
     forensics: bool,
     drain: Option<u64>,
@@ -35,11 +38,14 @@ struct Cli {
     resume: bool,
 }
 
-const USAGE: &str =
-    "usage: sweep --spec FILE [--jobs N] [--out FILE|-] [--forensics] [--drain CYCLES]
-             [--cache-dir DIR] [--resume]
+const USAGE: &str = "usage: sweep --spec FILE [--jobs N] [--threads N] [--out FILE|-] [--forensics]
+             [--drain CYCLES] [--cache-dir DIR] [--resume]
   --spec FILE      sweep grid, TOML or JSON (required)
-  --jobs N         worker threads (default: available cores)
+  --jobs N         worker threads, one scenario each (default: available
+                   cores; 0 = auto-detect explicitly)
+  --threads N      intra-scenario threads for the deterministic parallel
+                   tick, overriding each scenario's own `threads` field
+                   (default: defer to the spec; 0 = auto-detect)
   --out FILE|-     report destination (default: stdout)
   --forensics      capture deadlock forensics per wedged run
   --drain N        after the window, stop injection and drain up to N cycles
@@ -47,10 +53,17 @@ const USAGE: &str =
                    re-runs simulate nothing and emit identical bytes
   --resume         replay this grid's journal from the cache (needs --cache-dir)";
 
+/// `0` from an explicit `--jobs 0` / `--threads 0` means "use every core
+/// the machine reports"; platforms that cannot say run sequentially.
+fn auto_detect() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         spec: String::new(),
-        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        jobs: auto_detect(),
+        threads: 0, // defer to each scenario's own `threads` field
         out: "-".to_string(),
         forensics: false,
         drain: None,
@@ -63,9 +76,16 @@ fn parse_cli() -> Result<Cli, String> {
         match arg.as_str() {
             "--spec" => cli.spec = value("--spec")?,
             "--jobs" => {
-                cli.jobs = value("--jobs")?
+                let n: usize = value("--jobs")?
                     .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                cli.jobs = if n == 0 { auto_detect() } else { n };
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                cli.threads = if n == 0 { auto_detect() } else { n };
             }
             "--out" => cli.out = value("--out")?,
             "--forensics" => cli.forensics = true,
@@ -112,6 +132,7 @@ fn main() {
     let opts = ExecOptions {
         forensics: cli.forensics,
         drain_budget: cli.drain,
+        threads: cli.threads,
     };
     let cache = CacheConfig {
         dir: cli.cache_dir.map(Into::into),

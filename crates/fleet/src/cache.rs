@@ -84,7 +84,10 @@ impl fmt::Display for CacheKey {
 /// The execution options fold into the fingerprint because they shape the
 /// [`RunResult`]: a drain probe adds the `drained` field, forensics
 /// capture adds the report — results produced under different options are
-/// different content.
+/// different content. [`ExecOptions::threads`] stays OUT of the tag for
+/// the same reason `--jobs` does: the parallel tick is bit-identical at
+/// any thread count, so results produced at different counts are the same
+/// content and must share one cache entry.
 pub fn content_key(
     scenario: &Scenario,
     opts: ExecOptions,
@@ -425,6 +428,7 @@ mod tests {
             ExecOptions {
                 forensics: false,
                 drain_budget: Some(100),
+                threads: 0,
             },
             epoch,
         )
@@ -434,6 +438,7 @@ mod tests {
             ExecOptions {
                 forensics: true,
                 drain_budget: None,
+                threads: 0,
             },
             epoch,
         )
@@ -441,6 +446,26 @@ mod tests {
         assert_ne!(plain, drained);
         assert_ne!(plain, forensics);
         assert_ne!(drained, forensics);
+    }
+
+    #[test]
+    fn thread_counts_share_one_content_key() {
+        // `threads` is an execution knob like `--jobs`: the parallel tick
+        // is bit-identical at any count, so neither the exec-options
+        // override nor the scenario's own field may split the cache.
+        let epoch = schema_epoch();
+        let sc = Scenario::new("k", sb_scenario::Design::StaticBubble);
+        let base = content_key(&sc, ExecOptions::default(), epoch).unwrap();
+        let opts_override = ExecOptions {
+            threads: 4,
+            ..ExecOptions::default()
+        };
+        assert_eq!(base, content_key(&sc, opts_override, epoch).unwrap());
+        let spec_threads = sc.clone().with_threads(8);
+        assert_eq!(
+            base,
+            content_key(&spec_threads, ExecOptions::default(), epoch).unwrap()
+        );
     }
 
     #[test]

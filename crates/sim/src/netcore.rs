@@ -99,6 +99,22 @@ pub struct Resident {
     pub queued_packets_vnet: [u64; MAX_VNETS],
 }
 
+impl Resident {
+    /// Fold another census into this one. Every field is an integer sum,
+    /// so merging per-router-range shards in any order produces the exact
+    /// census of the union — the property the parallel audit rides on.
+    pub fn merge(&mut self, other: &Resident) {
+        self.packets += other.packets;
+        self.flits += other.flits;
+        self.queued_packets += other.queued_packets;
+        self.queued_flits += other.queued_flits;
+        for v in 0..MAX_VNETS {
+            self.packets_vnet[v] += other.packets_vnet[v];
+            self.queued_packets_vnet[v] += other.queued_packets_vnet[v];
+        }
+    }
+}
+
 /// An offered packet waiting in an injection-queue tail: a plain
 /// descriptor, not yet routed and not yet in the arena. Route stamping,
 /// id-to-`Packet` materialization and arena insertion are deferred until
@@ -384,6 +400,14 @@ impl NetCore {
     /// breakdowns. Used by the measurement-window carry and the conservation
     /// audit.
     pub fn resident(&self) -> Resident {
+        self.resident_range(0, self.topo.mesh().node_count())
+    }
+
+    /// The census restricted to routers `lo..hi` (their VCs, bubble, and
+    /// injection queues). Read-only over the SoA tables, so disjoint
+    /// ranges can be censused concurrently and [`Resident::merge`]d —
+    /// integer sums make the merged result identical to one full pass.
+    pub fn resident_range(&self, lo: usize, hi: usize) -> Resident {
         fn count(res: &mut Resident, pkt: &Packet, queued: bool) {
             if queued {
                 res.queued_packets += 1;
@@ -396,8 +420,8 @@ impl NetCore {
             }
         }
         let mut res = Resident::default();
-        let n = self.topo.mesh().node_count();
-        for r in 0..n {
+        let hi = hi.min(self.topo.mesh().node_count());
+        for r in lo..hi {
             let base = r * 4 * self.vcs;
             let mut mask = self.occ_mask[r];
             while mask != 0 {
@@ -409,7 +433,8 @@ impl NetCore {
                 count(&mut res, self.arena.get(self.bub_occ[r]), false);
             }
         }
-        for q in &self.inject {
+        let vnets = self.cfg.vnets as usize;
+        for q in &self.inject[lo * vnets..hi * vnets] {
             if q.head.is_some() {
                 count(&mut res, self.arena.get(q.head), true);
             }
@@ -422,6 +447,53 @@ impl NetCore {
             }
         }
         res
+    }
+
+    /// Build `router`'s per-output candidate masks: bit `i` of `cand[out]`
+    /// is set iff the buffer at rr index `i` holds a switchable head that
+    /// wants output `out` (0–3 = direction index, 4 = ejection). Walks the
+    /// occupancy word (trailing-zeros, so ascending rr order) using the
+    /// cached head bytes — the packet itself is only dereferenced for
+    /// injection-queue heads. Returns the earliest `ready_at` among
+    /// occupants still in the hop pipeline, if any.
+    ///
+    /// Reads **only this router's rows** of the SoA tables (occupancy word,
+    /// VC/bubble ready times and head bytes, its own injection-queue heads)
+    /// plus the current time, never a neighbor's state — the locality fact
+    /// the engine's parallel pre-pass and its dirty-set invalidation rule
+    /// are built on (`DESIGN.md` §13).
+    pub fn candidate_masks(&self, router: NodeId, cand: &mut [u64; 5]) -> Option<u64> {
+        let vcs = self.vcs;
+        let t = self.time;
+        let r = router.index();
+        let base = self.vc_base(router);
+        let mut next_ready: Option<u64> = None;
+        let mut mask = self.occ_mask[r];
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let ready = self.vc_ready[base + i];
+            if ready <= t {
+                cand[self.vc_head[base + i] as usize] |= 1u64 << i;
+            } else if next_ready.is_none_or(|w| ready < w) {
+                next_ready = Some(ready);
+            }
+        }
+        if self.bub_occ[r].is_some() {
+            let ready = self.bub_ready[r];
+            if ready <= t {
+                cand[self.bub_head[r] as usize] |= 1u64 << (4 * vcs);
+            } else if next_ready.is_none_or(|w| ready < w) {
+                next_ready = Some(ready);
+            }
+        }
+        for vnet in 0..self.cfg.vnets as usize {
+            let h = self.inject[r * self.cfg.vnets as usize + vnet].head;
+            if h.is_some() {
+                cand[head_of(self.arena.get(h)) as usize] |= 1u64 << (4 * vcs + 1 + vnet);
+            }
+        }
+        next_ready
     }
 
     /// Jain's fairness index over per-node deliveries of **alive, receiving**

@@ -1,0 +1,178 @@
+//! The deterministic parallel tick must be *semantically invisible*:
+//! bit-identical [`Stats`] — and, through a forced deadlock, bit-identical
+//! [`sb_sim::ForensicsReport`]s — versus the sequential path at any thread
+//! count. The pre-pass only precomputes reads; every grant, rr update and
+//! RNG draw still happens in the sequential commit order (`DESIGN.md` §13),
+//! so any divergence here is a dirty-set bug, not a tolerance question.
+
+use proptest::prelude::*;
+use sb_scenario::{ClockMode, Design, FaultSpec, Scenario, TrafficSpec};
+use sb_sim::{SimConfig, Stats, UniformTraffic};
+use sb_topology::FaultKind;
+
+/// Build one scenario of the sweep and run it with the requested thread
+/// count. The geometric arrival sampler is used so the Leap cases exercise
+/// real leaps (the Bernoulli sampler consumes one coin per node per cycle
+/// and never lets the clock jump).
+#[allow(clippy::too_many_arguments)] // one parameter per proptest axis
+fn threaded_run(
+    design: Design,
+    faults: usize,
+    fault_seed: u64,
+    rate: f64,
+    seed: u64,
+    clock: ClockMode,
+    audit_every: u64,
+    threads: usize,
+) -> Stats {
+    let faults = if faults == 0 {
+        FaultSpec::Pristine
+    } else {
+        FaultSpec::Model {
+            kind: FaultKind::Links,
+            count: faults,
+            seed: fault_seed,
+        }
+    };
+    let sc = Scenario::new("par-sweep", design)
+        .with_mesh(8, 8)
+        .with_faults(faults)
+        .with_seed(seed)
+        .with_audit_every(audit_every)
+        .with_clock(clock)
+        .with_threads(threads);
+    let topo = sc.topology();
+    let traffic = UniformTraffic::new(rate).single_vnet().geometric();
+    let mut sim = sc.build_with(&topo, traffic);
+    sim.warmup(200);
+    sim.run(1_200);
+    sim.stats().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// threads ∈ {2, 4} is bit-identical to threads = 1 for every deadlock
+    /// design, across random fault patterns and injection rates — from
+    /// near-idle (where the parallel gate keeps cycles sequential) to past
+    /// saturation (where every cycle shards a long worklist) — under both
+    /// clock modes and every audit cadence the acceptance grid names.
+    #[test]
+    fn parallel_tick_matches_sequential_across_designs(
+        design_idx in 0usize..4,
+        faults in 0usize..12,
+        fault_seed in any::<u64>(),
+        rate_centi in 1u32..65,
+        seed in any::<u64>(),
+        // clock × audit cadence × thread count, folded into one axis (the
+        // vendored proptest caps strategy tuples at six elements).
+        mode in 0usize..12,
+    ) {
+        let design = [
+            Design::Unprotected,
+            Design::SpanningTree,
+            Design::EscapeVc,
+            Design::StaticBubble,
+        ][design_idx];
+        let clock = [ClockMode::Step, ClockMode::Leap][mode % 2];
+        let audit_every = [0u64, 1, 64][(mode / 2) % 3];
+        let threads = [2usize, 4][mode / 6];
+        let rate = rate_centi as f64 / 100.0;
+        let sequential = threaded_run(
+            design, faults, fault_seed, rate, seed, clock, audit_every, 1,
+        );
+        let parallel = threaded_run(
+            design, faults, fault_seed, rate, seed, clock, audit_every, threads,
+        );
+        prop_assert_eq!(sequential, parallel);
+    }
+}
+
+#[test]
+fn parallel_tick_matches_sequential_through_deadlock_and_recovery() {
+    // The Fig. 3 regime: organic deadlocks form under load and Static
+    // Bubble recovers them — probes, restriction latches, bubble
+    // relocation, TTL expiry all ride through the parallel commit loop.
+    // The whole arc must be bit-identical at every thread count, and the
+    // run must actually contain a recovery for the test to mean anything.
+    let run = |threads: usize| {
+        let mut sim = Scenario::new("par-recovery", Design::StaticBubble)
+            .with_mesh(8, 8)
+            .with_config(SimConfig::single_vnet())
+            .with_traffic(TrafficSpec::Uniform {
+                rate: 0.35,
+                single_vnet: true,
+            })
+            .with_seed(42)
+            .with_audit_every(1)
+            .with_threads(threads)
+            .build();
+        sim.run(2_500);
+        sim.stats().clone()
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.deadlocks_recovered > 0,
+        "scenario must deadlock and recover to be a meaningful A/B check"
+    );
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(4));
+}
+
+#[test]
+fn forced_deadlock_forensics_are_identical_across_thread_counts() {
+    // An unprotected saturated mesh wedges for good; the detection time
+    // and the *entire* captured forensics report (wait-for cycle, FSM
+    // states, per-router census) must not depend on the thread count.
+    let run = |threads: usize| {
+        let mut sim = Scenario::new("par-forensics", Design::Unprotected)
+            .with_mesh(8, 8)
+            .with_config(SimConfig::tiny())
+            .with_traffic(TrafficSpec::Uniform {
+                rate: 1.0,
+                single_vnet: true,
+            })
+            .with_seed(1)
+            .with_threads(threads)
+            .build();
+        let when = sim.run_until_deadlock(20_000, 4);
+        assert!(when.is_some(), "expected a deadlock at threads={threads}");
+        let report = sim.take_forensics();
+        assert!(
+            report.is_some(),
+            "detection must leave a forensics report (threads={threads})"
+        );
+        (when, report)
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(4));
+}
+
+#[test]
+fn thread_count_changes_mid_run_keep_results_identical() {
+    // `set_threads` is a live knob (the CLI sets it once, but the engine
+    // must not care): flipping between sequential and parallel mid-run
+    // lands on the same trajectory as either fixed setting.
+    let build = |threads: usize| {
+        Scenario::new("par-flip", Design::StaticBubble)
+            .with_mesh(8, 8)
+            .with_config(SimConfig::single_vnet())
+            .with_traffic(TrafficSpec::Uniform {
+                rate: 0.30,
+                single_vnet: true,
+            })
+            .with_seed(7)
+            .with_threads(threads)
+            .build()
+    };
+    let mut fixed = build(1);
+    fixed.run(2_000);
+    let mut flipped = build(4);
+    flipped.run(500);
+    flipped.set_threads(1);
+    flipped.run(500);
+    flipped.set_threads(3);
+    flipped.run(1_000);
+    assert_eq!(fixed.stats().clone(), flipped.stats().clone());
+}
